@@ -1,0 +1,75 @@
+"""Bench: ablations over the design choices DESIGN.md calls out.
+
+- Section V-B strategies: strategy 1 keeps precision at 100% with reduced
+  recall; strategy 2 keeps recall at 100% with reduced precision; the
+  learned classifier c3 cannot attain both (the paper's intuition).
+- Selection: expected-distance heuristics vs uniformly random class-pair
+  order.
+- Anonymizer choice: the paper's MaxEnt metric buys blocking efficiency.
+"""
+
+from repro.bench.experiments import (
+    ablation_anonymizers_blocking,
+    ablation_selection,
+    ablation_strategies,
+    baselines,
+)
+
+
+def test_ablation_strategies(benchmark, data, report):
+    table = benchmark.pedantic(
+        ablation_strategies, args=(data,), rounds=1, iterations=1
+    )
+    report.append(table)
+    rows = {row[0]: row for row in table.rows}
+    precision_1, recall_1 = rows["maximize-precision"][1:3]
+    precision_2, recall_2 = rows["maximize-recall"][1:3]
+    precision_3, recall_3 = rows["learned-classifier"][1:3]
+    assert precision_1 == 100.0
+    assert recall_2 == 100.0
+    assert precision_2 < precision_1
+    assert recall_1 < recall_2
+    # c3 does not beat the dedicated strategies at their own game.
+    assert precision_3 <= precision_1
+    assert recall_3 <= recall_2
+
+
+def test_ablation_selection(benchmark, data, report):
+    table = benchmark.pedantic(
+        ablation_selection, args=(data,), rounds=1, iterations=1
+    )
+    report.append(table)
+    recall = dict(table.rows)
+    # Informed selection beats random selection.
+    best_informed = max(
+        recall["maxLast"], recall["minFirst"], recall["minAvgFirst"]
+    )
+    assert best_informed >= recall["random"]
+
+
+def test_ablation_anonymizers(benchmark, data, report):
+    table = benchmark.pedantic(
+        ablation_anonymizers_blocking, args=(data,), rounds=1, iterations=1
+    )
+    report.append(table)
+    rows = {row[0]: row for row in table.rows}
+    # The paper's metric blocks at least as well as TDS and DataFly.
+    assert rows["maxent"][2] >= rows["tds"][2]
+    assert rows["maxent"][2] >= rows["datafly"][2]
+    # More distinct sequences -> better blocking (the paper's argument).
+    assert rows["maxent"][1] > rows["datafly"][1]
+
+
+def test_baselines(benchmark, data, report):
+    table = benchmark.pedantic(baselines, args=(data,), rounds=1, iterations=1)
+    report.append(table)
+    rows = {row[0]: row for row in table.rows}
+    hybrid = rows["hybrid (ours)"]
+    pure_smc = rows["pure SMC"]
+    sanitized = rows["pure sanitization"]
+    # Costs at worst equal to pure SMC (paper's advantage 1).
+    assert hybrid[3] <= pure_smc[3]
+    # Precision always 100% (advantage 2).
+    assert hybrid[1] == 100.0
+    # More accurate than sanitization-only matching.
+    assert hybrid[1] >= sanitized[1]

@@ -1,0 +1,26 @@
+"""Bench: Figure 3 — blocking efficiency vs anonymity requirement k.
+
+Paper shape: efficiency is very high (≈99%) for small k and decreases
+monotonically as k grows (≈97.57% at the paper's default k=32 on the full
+data set); larger k means coarser generalizations, larger specialization
+sets, and fewer decidable pairs.
+"""
+
+from repro.bench.experiments import fig3_blocking_vs_k
+
+
+def test_fig3_blocking_vs_k(benchmark, data, report):
+    table = benchmark.pedantic(
+        fig3_blocking_vs_k, args=(data,), rounds=1, iterations=1
+    )
+    report.append(table)
+    efficiency = table.column("blocking efficiency %")
+    # Monotone non-increasing in k.
+    assert efficiency == sorted(efficiency, reverse=True)
+    # Small k decides nearly everything; the default k=32 stays high.
+    assert efficiency[0] > 95.0
+    k_values = table.column("k")
+    at_default = efficiency[k_values.index(32)]
+    assert at_default > 90.0
+    # Large k costs real efficiency.
+    assert efficiency[-1] < at_default

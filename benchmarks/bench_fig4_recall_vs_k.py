@@ -1,0 +1,41 @@
+"""Bench: Figure 4 — recall vs anonymity requirement k.
+
+Paper shape: recall is essentially 100% for small k (blocking leaves so
+few unknown pairs that the fixed allowance covers them all), then drops
+sharply once the allowance becomes insufficient; on over-perturbed data
+(large k) minAvgFirst performs best among the heuristics.
+"""
+
+import statistics
+
+from repro.bench.experiments import fig4_recall_vs_k
+
+OVER_PERTURBED_KS = (64, 128, 256, 512, 1024)
+
+
+def test_fig4_recall_vs_k(benchmark, data, report):
+    table = benchmark.pedantic(
+        fig4_recall_vs_k, args=(data,), rounds=1, iterations=1
+    )
+    report.append(table)
+    k_values = table.column("k")
+    series = {
+        name: table.column(name)
+        for name in ("maxLast", "minFirst", "minAvgFirst")
+    }
+    # Small k: the allowance covers all unknown pairs -> full recall.
+    for name, values in series.items():
+        assert values[0] == 100.0, name
+    # Large k: recall collapses for every heuristic.
+    for name, values in series.items():
+        assert values[-1] < values[0] / 2, name
+    # minAvgFirst is the best heuristic on average over the
+    # over-perturbed regime (the paper's Figure 4 observation).
+    def regime_mean(name):
+        return statistics.mean(
+            series[name][k_values.index(k)] for k in OVER_PERTURBED_KS
+        )
+
+    assert regime_mean("minAvgFirst") >= min(
+        regime_mean("maxLast"), regime_mean("minFirst")
+    )

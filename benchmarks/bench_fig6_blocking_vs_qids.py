@@ -1,0 +1,26 @@
+"""Bench: Figure 6 — blocking efficiency vs number of quasi-identifiers.
+
+Paper shape: efficiency *increases* with the number of QIDs. Shrinking
+the QID set increases the number of distinct generalization sequences per
+class budget... no — the paper's stated mechanism: with fewer QIDs, the
+same data supports more specific generalizations per attribute, but
+groups of records generalized to the same sequence get *smaller* as QIDs
+are added, and (more importantly) every extra QID is one more attribute
+on which a pair can be certainly mismatched, so more pairs are blocked.
+"""
+
+from repro.bench.experiments import fig6_blocking_vs_qids
+
+
+def test_fig6_blocking_vs_qids(benchmark, data, report):
+    table = benchmark.pedantic(
+        fig6_blocking_vs_qids, args=(data,), rounds=1, iterations=1
+    )
+    report.append(table)
+    efficiency = table.column("blocking efficiency %")
+    # Increasing trend: the 8-QID end beats the 3-QID end, and no sweep
+    # point falls below the 3-QID start. (Strict monotonicity can break
+    # at paper scale because the anonymizer re-splits its budget across
+    # attributes at every q; the paper's claim is the overall direction.)
+    assert efficiency[-1] > efficiency[0]
+    assert min(efficiency) >= efficiency[0] - 0.5

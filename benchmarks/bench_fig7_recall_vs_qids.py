@@ -1,0 +1,29 @@
+"""Bench: Figure 7 — recall vs number of quasi-identifiers.
+
+Paper shape: recall increases as more record pairs are labeled in the
+blocking step (more QIDs -> higher blocking efficiency -> the allowance
+stretches further); minFirst has the poorest performance, maxLast and
+minAvgFirst attain around the same recall on average.
+"""
+
+import statistics
+
+from repro.bench.experiments import fig7_recall_vs_qids
+
+
+def test_fig7_recall_vs_qids(benchmark, data, report):
+    table = benchmark.pedantic(
+        fig7_recall_vs_qids, args=(data,), rounds=1, iterations=1
+    )
+    report.append(table)
+    series = {
+        name: table.column(name)
+        for name in ("maxLast", "minFirst", "minAvgFirst")
+    }
+    # More QIDs help every heuristic end-to-end.
+    for name, values in series.items():
+        assert values[-1] > values[0], name
+    # minFirst is the poorest on average.
+    means = {name: statistics.mean(values) for name, values in series.items()}
+    assert means["minFirst"] <= means["maxLast"]
+    assert means["minFirst"] <= means["minAvgFirst"]

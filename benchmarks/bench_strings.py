@@ -1,0 +1,123 @@
+"""Bench: the Section VIII alphanumeric extension under load.
+
+Not a paper figure — the paper's named future work, measured: a
+voter-roll-style workload with typo'd surnames, edit-distance matching
+(budget 1) and prefix generalization. Shape expectations:
+
+- precision stays 100% (the slack bounds for prefix patterns are sound);
+- blocking decides a substantial share of pairs even though edit-distance
+  slack is inherently looser than Hamming slack;
+- recall grows with the SMC allowance, as in Figure 8.
+"""
+
+import random
+
+import pytest
+
+from repro.anonymize import MaxEntropyTDS
+from repro.data.schema import Attribute, Relation, Schema
+from repro.data.strings import PrefixHierarchy
+from repro.data.vgh import IntervalHierarchy
+from repro.linkage.blocking import block
+from repro.linkage.distances import MatchAttribute, MatchRule
+from repro.linkage.hybrid import HybridLinkage, LinkageConfig
+from repro.linkage.metrics import evaluate
+
+SURNAMES = [
+    "smith", "smythe", "johnson", "johansen", "williams", "brown", "braun",
+    "jones", "jonas", "garcia", "miller", "davis", "rodriguez", "martinez",
+    "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas",
+    "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson",
+    "white", "harris", "sanchez", "clark", "clarke", "ramirez", "lewis",
+]
+
+
+def _typo(name, rng):
+    position = rng.randrange(len(name))
+    letter = rng.choice("abcdefghijklmnopqrstuvwxyz")
+    return name[:position] + letter + name[position + 1:]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(8)
+    schema = Schema(
+        [Attribute.categorical("surname"), Attribute.continuous("age")]
+    )
+    shared = [(rng.choice(SURNAMES), rng.randint(18, 90)) for _ in range(260)]
+    dirty = [
+        (_typo(surname, rng), age) if rng.random() < 0.3 else (surname, age)
+        for surname, age in shared
+    ]
+    left = Relation(
+        schema,
+        [(rng.choice(SURNAMES), rng.randint(18, 90)) for _ in range(400)]
+        + shared,
+    )
+    right = Relation(
+        schema,
+        dirty
+        + [(rng.choice(SURNAMES), rng.randint(18, 90)) for _ in range(380)],
+    )
+    catalog = {
+        "surname": PrefixHierarchy("surname", max_length=16),
+        "age": IntervalHierarchy.equi_width("age", 17, 91, 8, levels=3),
+    }
+    rule = MatchRule(
+        [
+            MatchAttribute("surname", catalog["surname"], 1.0),
+            MatchAttribute("age", catalog["age"], 0.02),
+        ]
+    )
+    anonymizer = MaxEntropyTDS(catalog)
+    left_gen = anonymizer.anonymize(left, ("surname", "age"), 4)
+    right_gen = anonymizer.anonymize(right, ("surname", "age"), 4)
+    return left, right, left_gen, right_gen, rule
+
+
+def test_string_blocking(benchmark, workload, report):
+    left, right, left_gen, right_gen, rule = workload
+    result = benchmark.pedantic(
+        block, args=(rule, left_gen, right_gen), rounds=1, iterations=1
+    )
+    # Edit-distance slack is looser than Hamming slack, but the DP
+    # frontier bound still decides a large share of pairs.
+    assert result.blocking_efficiency > 0.4
+    assert result.nonmatch_pairs > 0
+
+
+def test_string_pipeline_recall_vs_allowance(benchmark, workload, report):
+    from repro.bench.runner import ExperimentTable, as_percent
+
+    left, right, left_gen, right_gen, rule = workload
+
+    def sweep():
+        blocking = block(rule, left_gen, right_gen)
+        rows = []
+        for allowance in (0.02, 0.1, 0.5, 1.0):
+            config = LinkageConfig(rule, allowance=allowance)
+            result = HybridLinkage(config).run_from_blocking(
+                blocking, left_gen, right_gen
+            )
+            evaluation = evaluate(result, rule, left, right)
+            rows.append(
+                (
+                    as_percent(allowance),
+                    as_percent(evaluation.precision),
+                    as_percent(evaluation.recall),
+                )
+            )
+        return ExperimentTable(
+            "strings",
+            "Extension: edit-distance linkage, recall vs allowance",
+            ("allowance %", "precision %", "recall %"),
+            tuple(rows),
+        )
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.append(table)
+    precision = table.column("precision %")
+    recall = table.column("recall %")
+    assert all(value == 100.0 for value in precision)
+    assert recall == sorted(recall)
+    assert recall[-1] == 100.0  # full allowance covers every unknown pair

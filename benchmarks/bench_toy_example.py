@@ -1,0 +1,20 @@
+"""Bench: the Section III worked example (Tables I & II).
+
+Golden numbers: 6 matched, 12 mismatched, 18 unknown, 50% blocking
+efficiency over the 36 record pairs.
+"""
+
+from repro.bench.experiments import toy_example
+
+
+def test_toy_example(benchmark, report):
+    table = benchmark.pedantic(toy_example, rounds=1, iterations=1)
+    report.append(table)
+    by_quantity = {row[0]: row for row in table.rows}
+    assert by_quantity["matched (M)"][1] == 6
+    assert by_quantity["mismatched (N)"][1] == 12
+    assert by_quantity["unknown (U)"][1] == 18
+    assert by_quantity["blocking efficiency %"][1] == 50.0
+    # Every measured value equals the paper's value exactly.
+    for row in table.rows:
+        assert row[1] == row[2]

@@ -1,0 +1,28 @@
+"""Shared experiment data for the benchmark suite.
+
+One :class:`~repro.bench.config.ExperimentData` instance is shared by the
+whole session so that anonymizations, blocking results and ground-truth
+oracles are computed once per sweep coordinate, exactly as the drivers
+expect. Scale is controlled by ``REPRO_BENCH_SCALE`` (see DESIGN.md §4).
+"""
+
+import pytest
+
+from repro.bench.config import ExperimentData
+
+
+@pytest.fixture(scope="session")
+def data():
+    return ExperimentData()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print each experiment table at the end of the session."""
+    tables = []
+    yield tables
+    if tables:
+        print()
+        for table in tables:
+            print()
+            print(table.render())

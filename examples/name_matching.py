@@ -1,0 +1,125 @@
+"""Alphanumeric linkage — the paper's Section VIII future work, implemented.
+
+"As future work, we will extend our existing solution to handle
+alphanumeric attributes (e.g., address information) as well ... distance
+functions are much more complex than Hamming distance (e.g. edit distance)
+and there are many possible generalization mechanisms to choose from."
+
+This example links two voter-roll-style lists on (surname, age) where
+surnames carry typos, using:
+
+- edit distance with a one-edit budget as the surname matcher,
+- prefix generalization (``"smi*"``) as the anonymization mechanism,
+- conservative edit-distance slack bounds in the blocking step.
+
+The SMC step runs through the counted plaintext oracle: a *secure*
+approximate edit-distance protocol is exactly the open problem the paper
+names, and the crypto backend refuses edit budgets >= 1 rather than
+pretending (exact string equality is still supported cryptographically).
+
+Run with::
+
+    python examples/name_matching.py
+"""
+
+import random
+
+from repro import HybridLinkage, LinkageConfig, MatchAttribute, MatchRule
+from repro.anonymize import MaxEntropyTDS
+from repro.data.schema import Attribute, Relation, Schema
+from repro.data.strings import PrefixHierarchy
+from repro.data.vgh import IntervalHierarchy
+from repro.linkage.metrics import evaluate
+
+SURNAMES = [
+    "smith", "smythe", "johnson", "johansen", "williams", "brown", "braun",
+    "jones", "jonas", "garcia", "miller", "davis", "rodriguez", "martinez",
+    "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas",
+    "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson",
+    "white", "harris", "sanchez", "clark", "clarke", "ramirez", "lewis",
+    "robinson", "walker", "young", "allen", "king", "wright", "ng", "ngo",
+]
+
+TYPO_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def with_typo(name: str, rng: random.Random) -> str:
+    """Inject one realistic typo: substitute, drop or duplicate a letter."""
+    position = rng.randrange(len(name))
+    kind = rng.random()
+    if kind < 0.4:
+        letter = rng.choice(TYPO_ALPHABET)
+        return name[:position] + letter + name[position + 1:]
+    if kind < 0.7 and len(name) > 2:
+        return name[:position] + name[position + 1:]
+    return name[:position] + name[position] + name[position:]
+
+
+def build_lists(rng: random.Random):
+    schema = Schema(
+        [Attribute.categorical("surname"), Attribute.continuous("age")]
+    )
+    shared = [
+        (rng.choice(SURNAMES), rng.randint(18, 90)) for _ in range(300)
+    ]
+    # The right list re-keys a third of the shared people with typos —
+    # exactly the dirty-data reality edit distance exists for.
+    shared_right = [
+        (with_typo(surname, rng), age) if rng.random() < 0.33 else (surname, age)
+        for surname, age in shared
+    ]
+    only_left = [
+        (rng.choice(SURNAMES), rng.randint(18, 90)) for _ in range(450)
+    ]
+    only_right = [
+        (rng.choice(SURNAMES), rng.randint(18, 90)) for _ in range(420)
+    ]
+    left = Relation(schema, only_left + shared)
+    right = Relation(schema, shared_right + only_right)
+    return left, right
+
+
+def main():
+    rng = random.Random(1969)  # Fellegi-Sunter's year
+    left, right = build_lists(rng)
+    print(f"Left roll: {len(left)} people; right roll: {len(right)}; "
+          "300 shared (a third with typos on the right)")
+
+    catalog = {
+        "surname": PrefixHierarchy("surname", max_length=16),
+        "age": IntervalHierarchy.equi_width("age", 17, 91, 8, levels=3),
+    }
+    rule = MatchRule(
+        [
+            MatchAttribute("surname", catalog["surname"], 1.0),  # <=1 edit
+            MatchAttribute("age", catalog["age"], 0.02),         # +-1.48 yrs
+        ]
+    )
+    print(f"Classifier: surname within 1 edit, age within "
+          f"{rule.attributes[1].effective_threshold:.2f} years")
+
+    anonymizer = MaxEntropyTDS(catalog)
+    left_gen = anonymizer.anonymize(left, ("surname", "age"), k=4)
+    right_gen = anonymizer.anonymize(right, ("surname", "age"), k=4)
+    sample = ", ".join(
+        str(eq.sequence[0]) for eq in left_gen.classes[:6]
+    )
+    print(f"\nPublished surname generalizations look like: {sample}, ...")
+
+    for allowance in (0.01, 0.05, 0.2):
+        config = LinkageConfig(rule, allowance=allowance)
+        result = HybridLinkage(config).run(left_gen, right_gen)
+        evaluation = evaluate(result, rule, left, right)
+        print(f"\nallowance={allowance:>5.0%}  "
+              f"blocking={result.blocking.blocking_efficiency:.1%}  "
+              f"SMC={result.smc_invocations:>6}  "
+              f"precision={evaluation.precision:.0%}  "
+              f"recall={evaluation.recall:.1%}")
+
+    print("\nNote: the crypto backend intentionally refuses edit budgets")
+    print(">= 1 (no secure approximate edit-distance protocol — the open")
+    print("problem Section VIII names); these runs use the counted oracle.")
+
+
+if __name__ == "__main__":
+    main()

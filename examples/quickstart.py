@@ -1,0 +1,95 @@
+"""Quickstart: the paper's Section III worked example, end to end.
+
+Two tiny relations R and S (Tables I and II of the paper) are anonymized,
+blocked with the slack decision rule, and linked with a 10-pair SMC
+allowance — exactly the scenario the paper walks through. Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import HybridLinkage, LinkageConfig, MatchAttribute, MatchRule
+from repro.anonymize.base import EquivalenceClass, GeneralizedRelation
+from repro.data.hierarchies import toy_education_vgh, toy_work_hrs_vgh
+from repro.data.schema import Attribute, Relation, Schema
+from repro.data.vgh import Interval
+from repro.linkage.blocking import block
+from repro.linkage.metrics import evaluate
+
+
+def build_inputs():
+    """Tables I and II: R, S, and their anonymizations R' and S'."""
+    schema = Schema(
+        [Attribute.categorical("education"), Attribute.continuous("work_hrs")]
+    )
+    r = Relation(
+        schema,
+        [("Masters", 35), ("Masters", 36), ("Masters", 36),
+         ("9th", 28), ("10th", 22), ("12th", 33)],
+    )
+    s = Relation(
+        schema,
+        [("Masters", 36), ("Masters", 35), ("Bachelors", 27),
+         ("11th", 33), ("11th", 22), ("12th", 27)],
+    )
+    hierarchies = {
+        "education": toy_education_vgh(),
+        "work_hrs": toy_work_hrs_vgh(),
+    }
+    r_prime = GeneralizedRelation(
+        r, ("education", "work_hrs"), hierarchies,
+        [
+            EquivalenceClass(("Masters", Interval(35, 37)), (0, 1, 2)),
+            EquivalenceClass(("Secondary", Interval(1, 35)), (3, 4, 5)),
+        ],
+        k=3,
+    )
+    s_prime = GeneralizedRelation(
+        s, ("education", "work_hrs"), hierarchies,
+        [
+            EquivalenceClass(("Masters", Interval(35, 37)), (0, 1)),
+            EquivalenceClass(("ANY", Interval(1, 35)), (2, 3)),
+            EquivalenceClass(("Senior Sec.", Interval(1, 35)), (4, 5)),
+        ],
+        k=2,
+    )
+    rule = MatchRule(
+        [
+            MatchAttribute("education", hierarchies["education"], 0.5),
+            MatchAttribute("work_hrs", hierarchies["work_hrs"], 0.2),
+        ]
+    )
+    return r, s, r_prime, s_prime, rule
+
+
+def main():
+    r, s, r_prime, s_prime, rule = build_inputs()
+    print("Querying party's classifier:", rule)
+    print(
+        "Normalized Work-Hrs threshold:",
+        rule.attributes[1].effective_threshold,
+        "(the paper's 0.2 x 98 = 19.6)",
+    )
+
+    print("\n--- Blocking step (Section IV) ---")
+    blocking = block(rule, r_prime, s_prime)
+    print(f"matched pairs   : {blocking.matched_pairs}  (paper: 6)")
+    print(f"mismatched pairs: {blocking.nonmatch_pairs}  (paper: 12)")
+    print(f"unknown pairs   : {blocking.unknown_pairs}  (paper: 18)")
+    print(f"blocking efficiency: {blocking.blocking_efficiency:.0%}")
+
+    print("\n--- Hybrid linkage with a 10-pair SMC allowance ---")
+    config = LinkageConfig(rule, allowance=10 / 36)
+    result = HybridLinkage(config).run(r_prime, s_prime)
+    print(result.summary())
+
+    evaluation = evaluate(result, rule, r, s)
+    print("\n--- Evaluation ---")
+    print(evaluation.summary())
+    print("\nVerified matching record pairs (r_i, s_j):")
+    for left_index, right_index in sorted(set(result.iter_verified_matches())):
+        print(f"  r{left_index + 1} = {r[left_index]}  <->  "
+              f"s{right_index + 1} = {s[right_index]}")
+
+
+if __name__ == "__main__":
+    main()

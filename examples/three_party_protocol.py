@@ -1,0 +1,103 @@
+"""The three-party protocol, acted out — plus the Fellegi–Sunter analogy.
+
+Two walkthroughs in one script:
+
+1. **The party boundary.** Alice and Bob are data holders; the researcher
+   is the querying party. Alice and Bob each publish only an anonymized
+   view (generalization sequences and class sizes); the researcher drives
+   blocking and the budgeted SMC step addressing records purely by
+   ``(class_id, offset)`` handles, and ends up with verified match
+   handles that each holder resolves against its own records locally.
+   No raw record ever reaches the researcher's code path.
+
+2. **Section IV's analogy, executable.** The paper frames its blocking
+   step as the probabilistic matcher of Fellegi–Sunter / Gomatam et al.:
+   three labels M / P / N, with P ("possible match") delegated to an
+   accurate-but-expensive expert. We fit the classic Fellegi–Sunter
+   matcher on the same data and show the structural correspondence — and
+   the crucial difference: the probabilistic M/N labels are *guesses*
+   that can be wrong, while the slack rule's M/N labels are exact.
+
+Run with::
+
+    python examples/three_party_protocol.py
+"""
+
+from repro.anonymize import MaxEntropyTDS
+from repro.data.adult import generate_adult
+from repro.data.hierarchies import ADULT_QID_ORDER, adult_hierarchies
+from repro.data.partition import build_linkage_pair
+from repro.linkage.distances import MatchAttribute, MatchRule
+from repro.linkage.fellegi_sunter import FellegiSunterMatcher
+from repro.linkage.ground_truth import GroundTruth
+from repro.linkage.slack import Label
+from repro.protocol import DataHolder, QueryingParty, SMCBridge
+
+QIDS = ADULT_QID_ORDER[:5]
+
+
+def main():
+    relation = generate_adult(2400, seed=2008)
+    pair = build_linkage_pair(relation, seed=496)
+    catalog = adult_hierarchies()
+    rule = MatchRule(
+        MatchAttribute(name, catalog[name], 0.05) for name in QIDS
+    )
+
+    print("=== Act 1: the party boundary ===")
+    alice = DataHolder("alice", pair.left)
+    bob = DataHolder("bob", pair.right)
+    anonymizer = MaxEntropyTDS(catalog)
+    # Each holder chooses its own privacy level.
+    left_view = alice.publish(anonymizer, QIDS, k=32)
+    right_view = bob.publish(anonymizer, QIDS, k=16)
+    print(f"Alice publishes {len(left_view.classes)} classes at k=32; "
+          f"Bob publishes {len(right_view.classes)} at k=16")
+    print("A published class looks like:",
+          left_view.classes[0].sequence, "size", left_view.classes[0].size)
+
+    bridge = SMCBridge(alice, bob, rule)
+    researcher = QueryingParty(rule, allowance=0.02)
+    outcome = researcher.link(left_view, right_view, bridge)
+    print(f"\nResearcher's view: blocking decided "
+          f"{outcome.blocking_efficiency:.2%} of "
+          f"{outcome.total_pairs} pairs; "
+          f"{outcome.smc_invocations} SMC invocations; "
+          f"{len(outcome.matched_handles)} verified matches (by handle)")
+
+    # Each holder resolves its own handles; the researcher never could.
+    left_ids = alice.resolve([pair_[0] for pair_ in outcome.matched_handles])
+    right_ids = bob.resolve([pair_[1] for pair_ in outcome.matched_handles])
+    truth = set(GroundTruth(rule, pair.left, pair.right).iter_matches())
+    verified = set(zip(left_ids, right_ids))
+    print(f"Holders resolve them locally: {len(verified)} pairs, "
+          f"{len(verified & truth)} of which ground truth confirms "
+          "(all of them — the 100% precision guarantee)")
+
+    print("\n=== Act 2: the Fellegi-Sunter analogy (Section IV) ===")
+    matcher = FellegiSunterMatcher(rule, upper=0.9, lower=0.1)
+    matcher.fit(pair.left, pair.right, sample_pairs=8000, seed=3)
+    model = matcher.model
+    import math
+
+    print("EM-estimated per-attribute agreement probabilities:")
+    for name, m_i, u_i in zip(QIDS, model.m, model.u):
+        agree_weight = math.log2(m_i / u_i)
+        print(f"  {name:<16} m={m_i:.3f}  u={u_i:.3f}  "
+              f"agreement weight {agree_weight:+.2f}")
+    sample_left = pair.left.take(range(120))
+    sample_right = pair.right.take(range(120))
+    counts = matcher.label_counts(sample_left, sample_right)
+    total = sum(counts.values())
+    print(f"\nFS labels over a {total}-pair sample: "
+          f"M={counts[Label.MATCH]}, "
+          f"P={counts[Label.UNKNOWN]}, "
+          f"N={counts[Label.NONMATCH]}")
+    print("The hybrid method's blocking plays the same role — but its")
+    print("M/N decisions are exact (anonymized data is imprecise, not")
+    print("dirty), and the SMC circuit is the 'domain expert' that")
+    print("adjudicates the P pile under a budget.")
+
+
+if __name__ == "__main__":
+    main()

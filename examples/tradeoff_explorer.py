@@ -1,0 +1,78 @@
+"""Exploring the paper's three-way trade-off: privacy x cost x accuracy.
+
+"Unlike existing methods, trade-off in our solution is along three
+dimensions: privacy, cost, and accuracy." This example sweeps the two
+knobs a deployment actually controls — the anonymity requirement k
+(privacy) and the SMC allowance (cost) — and prints the recall surface
+(accuracy), with the paper's two extreme scenarios at the corners:
+k=1 needs no SMC at all, k=|R| degenerates to the pure-SMC regime.
+
+Run with::
+
+    python examples/tradeoff_explorer.py
+"""
+
+from repro import HybridLinkage, LinkageConfig, MatchAttribute, MatchRule
+from repro.anonymize import MaxEntropyTDS
+from repro.data.adult import generate_adult
+from repro.data.hierarchies import ADULT_QID_ORDER, adult_hierarchies
+from repro.data.partition import build_linkage_pair
+from repro.linkage.blocking import block
+from repro.linkage.ground_truth import GroundTruth
+
+K_VALUES = (1, 8, 32, 128, 512)
+ALLOWANCES = (0.0, 0.005, 0.015, 0.03, 0.06)
+
+
+def main():
+    relation = generate_adult(3000, seed=77)
+    pair = build_linkage_pair(relation, seed=78)
+    catalog = adult_hierarchies()
+    qids = ADULT_QID_ORDER[:5]
+    rule = MatchRule(
+        MatchAttribute(name, catalog[name], 0.05) for name in qids
+    )
+    truth = GroundTruth(rule, pair.left, pair.right)
+    total_matches = truth.total_matches()
+    anonymizer = MaxEntropyTDS(catalog)
+
+    print(f"D1 x D2 = {pair.total_pairs} pairs, "
+          f"{total_matches} true matches\n")
+    print("Recall surface (rows: privacy k; columns: SMC allowance).")
+    print("Precision is 100% at every cell — the hybrid guarantee.\n")
+    header = "k \\ allowance" + "".join(
+        f"{allowance:>9.1%}" for allowance in ALLOWANCES
+    )
+    print(header)
+    print("-" * len(header))
+    for k in K_VALUES:
+        left = anonymizer.anonymize(pair.left, qids, k)
+        right = anonymizer.anonymize(pair.right, qids, k)
+        blocking = block(rule, left, right)
+        cells = []
+        for allowance in ALLOWANCES:
+            config = LinkageConfig(rule, allowance=allowance)
+            result = HybridLinkage(config).run_from_blocking(
+                blocking, left, right
+            )
+            recall = (
+                result.verified_match_pairs / total_matches
+                if total_matches
+                else 1.0
+            )
+            cells.append(f"{recall:>9.1%}")
+        print(f"{k:>13}" + "".join(cells)
+              + f"   (blocking {blocking.blocking_efficiency:.1%}, "
+                f"unknown {blocking.unknown_pairs})")
+
+    print("\nReading the corners:")
+    print(" - k=1, allowance 0: the anonymized relations are the originals;")
+    print("   blocking decides everything and recall is already 100%.")
+    print(" - large k, allowance 0: heavy privacy with no SMC budget")
+    print("   leaves most matches unverified (labeled non-match).")
+    print(" - large k, growing allowance: cost buys the accuracy back —")
+    print("   the third axis the paper adds over pure sanitization.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Anonymization substrate: k-anonymity algorithms over VGHs.
+
+The blocking step consumes k-anonymized relations; this subpackage provides
+the three algorithms the paper evaluates in Figure 2 plus one extension:
+
+- :class:`~repro.anonymize.datafly.DataFly` — Sweeney's bottom-up
+  full-domain generalization [8];
+- :class:`~repro.anonymize.tds.TDS` — Fung et al.'s top-down
+  specialization driven by information gain [7];
+- :class:`~repro.anonymize.maxent.MaxEntropyTDS` — the paper's proposed
+  metric: specialize the attribute with maximum entropy, treating every
+  specialization as beneficial;
+- :class:`~repro.anonymize.mondrian.Mondrian` — LeFevre et al.'s
+  multidimensional partitioning [24], included as an extension;
+- :class:`~repro.anonymize.incognito.Incognito` — optimal full-domain
+  lattice search (LeFevre et al., SIGMOD 2005), the exhaustive
+  counterpart to DataFly's greedy climb, included as an extension.
+
+All algorithms return a :class:`~repro.anonymize.base.GeneralizedRelation`.
+"""
+
+from repro.anonymize.base import (
+    Anonymizer,
+    EquivalenceClass,
+    GeneralizedRelation,
+    identity_generalization,
+)
+from repro.anonymize.datafly import DataFly
+from repro.anonymize.incognito import Incognito
+from repro.anonymize.maxent import MaxEntropyTDS
+from repro.anonymize.mondrian import Mondrian
+from repro.anonymize.tds import TDS
+
+__all__ = [
+    "Anonymizer",
+    "DataFly",
+    "EquivalenceClass",
+    "Incognito",
+    "GeneralizedRelation",
+    "MaxEntropyTDS",
+    "Mondrian",
+    "TDS",
+    "identity_generalization",
+]

@@ -1,0 +1,174 @@
+"""Optimal full-domain k-anonymity via lattice search (Incognito-style).
+
+DataFly is a *greedy* full-domain algorithm: it climbs one attribute at a
+time by a heuristic and may overshoot. The classic alternative (LeFevre
+et al.'s Incognito, SIGMOD 2005 — the same authors as the paper's [24])
+searches the full-domain *generalization lattice*: a vector assigns one
+generalization depth per attribute, vectors are ordered component-wise,
+and k-anonymity is monotone along that order — generalizing further can
+only merge equivalence classes, never split them. The k-anonymous vectors
+therefore form a down-set, and the interesting solutions are its maximal
+elements: the **minimal generalizations**, each k-anonymous while no
+strictly more specific full-domain vector is.
+
+:class:`Incognito` enumerates the lattice with two-sided monotone pruning
+(an anonymous vector certifies all its generalizations; a non-anonymous
+one condemns all its specializations), collects every minimal
+generalization, and publishes the one with the most distinct sequences —
+the quantity Figure 2 shows drives blocking efficiency. For the lattice
+sizes the Adult QIDs induce (a few hundred to a few thousand vectors)
+exhaustive search with pruning is entirely practical.
+
+Like the other full-domain algorithms here, continuous attributes include
+the raw-value level below the VGH leaves, so ``k = 1`` publishes the
+original relation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from repro.anonymize.base import (
+    Anonymizer,
+    GeneralizedRelation,
+    generalize_value,
+    group_by_sequence,
+    max_generalization_depth,
+)
+from repro.data.schema import Relation
+from repro.errors import AnonymizationError
+
+#: Refuse lattices past this size rather than hang; the Adult QIDs stay
+#: far below it.
+MAX_LATTICE_VECTORS = 200_000
+
+
+class Incognito(Anonymizer):
+    """Exhaustive full-domain lattice search with monotone pruning."""
+
+    def anonymize(
+        self, relation: Relation, qids: Sequence[str], k: int
+    ) -> GeneralizedRelation:
+        """Publish the minimal generalization with the most sequences."""
+        best_vector, _ = self._search(relation, qids, k)
+        return self._materialize(relation, qids, best_vector, k)
+
+    def minimal_generalizations(
+        self, relation: Relation, qids: Sequence[str], k: int
+    ) -> list[tuple[int, ...]]:
+        """All maximal k-anonymous depth vectors (minimal generalizations)."""
+        _, minimal = self._search(relation, qids, k)
+        return minimal
+
+    # -- lattice search -----------------------------------------------------
+
+    def _search(self, relation, qids, k):
+        self._check_arguments(relation, qids, k)
+        positions = relation.schema.positions(qids)
+        hierarchies = [self.hierarchies[name] for name in qids]
+        max_depths = [
+            max_generalization_depth(hierarchy) for hierarchy in hierarchies
+        ]
+        lattice_size = 1
+        for depth in max_depths:
+            lattice_size *= depth + 1
+        if lattice_size > MAX_LATTICE_VECTORS:
+            raise AnonymizationError(
+                f"full-domain lattice has {lattice_size} vectors "
+                f"(> {MAX_LATTICE_VECTORS}); use a greedy algorithm instead"
+            )
+        columns = [
+            [record[position] for record in relation] for position in positions
+        ]
+        anonymous: dict[tuple[int, ...], bool] = {}
+
+        def is_anonymous(vector: tuple[int, ...]) -> bool:
+            known = anonymous.get(vector)
+            if known is not None:
+                return known
+            # Monotone pruning against already-decided vectors.
+            for other, verdict in anonymous.items():
+                if verdict and _dominates(other, vector):
+                    # `other` is more specific and anonymous.
+                    anonymous[vector] = True
+                    return True
+                if not verdict and _dominates(vector, other):
+                    # `vector` is more specific than a failing one.
+                    anonymous[vector] = False
+                    return False
+            verdict = self._check_vector(
+                columns, hierarchies, vector, k, len(relation)
+            )
+            anonymous[vector] = verdict
+            return verdict
+
+        # Visit vectors from most to least specific so pruning bites early
+        # and the first anonymous vectors found are maximal candidates.
+        vectors = sorted(
+            itertools.product(*(range(depth + 1) for depth in max_depths)),
+            key=sum,
+            reverse=True,
+        )
+        minimal: list[tuple[int, ...]] = []
+        for vector in vectors:
+            if any(_dominates(found, vector) for found in minimal):
+                continue  # a more specific anonymous vector exists
+            if is_anonymous(vector):
+                minimal.append(vector)
+        if not minimal:  # pragma: no cover - the all-roots vector is 1-class
+            raise AnonymizationError("no k-anonymous full-domain vector exists")
+        best = max(
+            minimal,
+            key=lambda vector: self._distinct_sequences(
+                columns, hierarchies, vector
+            ),
+        )
+        return best, minimal
+
+    @staticmethod
+    def _check_vector(columns, hierarchies, vector, k, record_count) -> bool:
+        counts: dict[tuple, int] = {}
+        sequences = Incognito._sequences(columns, hierarchies, vector, record_count)
+        for sequence in sequences:
+            counts[sequence] = counts.get(sequence, 0) + 1
+        return all(count >= k for count in counts.values())
+
+    @staticmethod
+    def _distinct_sequences(columns, hierarchies, vector) -> int:
+        record_count = len(columns[0])
+        return len(
+            set(Incognito._sequences(columns, hierarchies, vector, record_count))
+        )
+
+    @staticmethod
+    def _sequences(columns, hierarchies, vector, record_count):
+        generalized_columns = []
+        for column, hierarchy, depth in zip(columns, hierarchies, vector):
+            # Generalize per distinct value, then broadcast.
+            mapping = {
+                value: generalize_value(hierarchy, value, depth)
+                for value in set(column)
+            }
+            generalized_columns.append([mapping[value] for value in column])
+        return list(zip(*generalized_columns))
+
+    def _materialize(self, relation, qids, vector, k) -> GeneralizedRelation:
+        positions = relation.schema.positions(qids)
+        hierarchies = [self.hierarchies[name] for name in qids]
+        columns = [
+            [record[position] for record in relation] for position in positions
+        ]
+        sequences = self._sequences(columns, hierarchies, vector, len(relation))
+        classes = group_by_sequence(relation, sequences)
+        return GeneralizedRelation(
+            relation, qids, {name: self.hierarchies[name] for name in qids},
+            classes, k=k,
+        )
+
+
+def _dominates(specific: tuple[int, ...], general: tuple[int, ...]) -> bool:
+    """True when *specific* is component-wise at least as deep (and not equal)."""
+    if specific == general:
+        return False
+    return all(s >= g for s, g in zip(specific, general))

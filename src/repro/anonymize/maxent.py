@@ -1,0 +1,50 @@
+"""The paper's anonymization method: maximum-entropy top-down specialization.
+
+Section VI-A: "Rather than minimizing class conditional entropy, at each
+step and for each partition, we choose the attribute that has maximum
+entropy. Therefore we make sure that partitions can withstand more
+specializations until the validity condition is violated. Consequently,
+the number of different generalizations is heuristically maximized."
+
+Every specialization is considered beneficial; the only gate is validity
+(every non-empty child partition keeps at least k records). Candidates are
+scored by the Shannon entropy of the partition's distribution over the
+candidate's child branches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.anonymize.topdown import TopDownSpecializer
+
+
+def branch_entropy(group_sizes: list[int]) -> float:
+    """Shannon entropy (bits) of a partition's split into child branches."""
+    total = sum(group_sizes)
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for size in group_sizes:
+        if size:
+            probability = size / total
+            entropy -= probability * math.log2(probability)
+    return entropy
+
+
+class MaxEntropyTDS(TopDownSpecializer):
+    """Top-down specialization scored by maximum branch entropy.
+
+    The paper's proposed metric (Figure 2's "Entropy" series). With small k
+    it produces many more distinct generalization sequences than DataFly or
+    TDS, which directly improves blocking efficiency.
+    """
+
+    def _score(self, attr_position, indices, groups):
+        """Every valid specialization is beneficial; prefer high entropy.
+
+        A single-branch split has entropy 0 but is still performed when
+        nothing better exists: it makes the sequence strictly more specific
+        at no anonymity cost, which can only help blocking.
+        """
+        return branch_entropy([len(group) for group in groups.values()])

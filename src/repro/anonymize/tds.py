@@ -1,0 +1,85 @@
+"""Top-Down Specialization (TDS) of Fung, Wang and Yu [7].
+
+As described in the paper's Section VI-A: starting from the most general
+state, "at each step, for each partition of specialized records, among the
+attributes that respect the k-anonymity requirement and that are beneficial
+for classification (i.e. information gain should not be 0), the one that
+maximizes information gain is selected."
+
+Information gain is computed against a class attribute (``income`` for the
+Adult data set, the classification task of [7]). The paper highlights why
+this metric blocks poorly: non-beneficial specializations are never
+performed, and maximizing information gain minimizes class-conditional
+entropy rather than maximizing the number of distinct sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.anonymize.topdown import TopDownSpecializer
+from repro.data.schema import Relation
+from repro.errors import AnonymizationError
+
+#: Gains below this are treated as zero (floating-point guard).
+_GAIN_EPSILON = 1e-12
+
+
+def class_entropy(labels: Sequence) -> float:
+    """Shannon entropy (bits) of a class-label multiset."""
+    total = len(labels)
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in Counter(labels).values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+class TDS(TopDownSpecializer):
+    """Information-gain-driven top-down specialization.
+
+    Parameters
+    ----------
+    hierarchies:
+        Hierarchy catalog keyed by attribute name.
+    class_attribute:
+        The classification target whose predictability the algorithm
+        preserves (``income`` in the Adult experiments).
+    """
+
+    def __init__(
+        self, hierarchies, *, class_attribute: str = "income", **kwargs
+    ):
+        super().__init__(hierarchies, **kwargs)
+        self.class_attribute = class_attribute
+        self._labels: list = []
+
+    def _prepare(self, relation: Relation, qids) -> None:
+        if self.class_attribute not in relation.schema:
+            raise AnonymizationError(
+                f"TDS needs class attribute {self.class_attribute!r} in the relation"
+            )
+        position = relation.schema.position(self.class_attribute)
+        self._labels = [record[position] for record in relation]
+
+    def _score(self, attr_position, indices, groups):
+        """Information gain of the split; ``None`` when not beneficial."""
+        labels = self._labels
+        parent_entropy = class_entropy([labels[index] for index in indices])
+        if parent_entropy == 0.0:
+            return None
+        total = len(indices)
+        children_entropy = 0.0
+        for group in groups.values():
+            weight = len(group) / total
+            children_entropy += weight * class_entropy(
+                [labels[index] for index in group]
+            )
+        gain = parent_entropy - children_entropy
+        if gain <= _GAIN_EPSILON:
+            return None
+        return gain

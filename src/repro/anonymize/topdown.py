@@ -1,0 +1,275 @@
+"""Top-down specialization framework shared by TDS and MaxEntropyTDS.
+
+Both algorithms follow the same recursion (paper Section VI-A): start with
+every record generalized to the hierarchy roots, then repeatedly pick, for
+each partition, a *valid* (every resulting non-empty child partition keeps
+at least k records) and *beneficial* specialization, replace the partition's
+node with its children and recurse. They differ only in what "beneficial"
+means and how candidates are scored:
+
+- TDS [7]: beneficial = positive information gain with respect to a class
+  attribute; score = the information gain;
+- the paper's method: every specialization is beneficial; score = the
+  entropy of the attribute within the partition, so partitions "can
+  withstand more specializations until the validity condition is violated".
+
+Subclasses implement :meth:`_score`, returning ``None`` for non-beneficial
+candidates.
+
+Because sibling partitions always differ in the attribute that split them,
+the leaf partitions of the recursion are exactly the equivalence classes of
+the output and all carry distinct sequences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.anonymize.base import (
+    Anonymizer,
+    EquivalenceClass,
+    GeneralizedRelation,
+    Hierarchy,
+)
+from repro.data.schema import Relation
+from repro.data.strings import PrefixHierarchy
+from repro.data.vgh import CategoricalHierarchy, Interval, IntervalHierarchy
+from repro.errors import AnonymizationError
+
+
+@dataclass
+class _Partition:
+    """A group of record indices sharing a (mutable) sequence."""
+
+    indices: list[int]
+    sequence: list
+
+
+class TopDownSpecializer(Anonymizer):
+    """Common recursion for top-down specialization algorithms.
+
+    Parameters
+    ----------
+    hierarchies:
+        Hierarchy catalog keyed by attribute name.
+    specialize_points:
+        When true (the default), continuous leaf intervals may take one
+        final specialization step down to the raw values (as point
+        intervals) whenever that step is valid — required for the paper's
+        k=1 scenario, in which the anonymized relation equals the original.
+    diversity, sensitive_attribute:
+        Optional l-diversity extension (Machanavajjhala et al. [10], the
+        paper's Section VII): with ``diversity = l > 1``, a specialization
+        is valid only when every non-empty child partition also contains
+        at least l distinct values of *sensitive_attribute*. The output is
+        then simultaneously k-anonymous and l-diverse.
+    """
+
+    def __init__(
+        self,
+        hierarchies,
+        *,
+        specialize_points: bool = True,
+        diversity: int = 1,
+        sensitive_attribute: str = "income",
+    ):
+        super().__init__(hierarchies)
+        self.specialize_points = specialize_points
+        if diversity < 1:
+            raise AnonymizationError("diversity must be at least 1")
+        self.diversity = diversity
+        self.sensitive_attribute = sensitive_attribute
+        self._sensitive_column: list = []
+
+    def anonymize(
+        self, relation: Relation, qids: Sequence[str], k: int
+    ) -> GeneralizedRelation:
+        """Run the top-down recursion and group the leaf partitions."""
+        self._check_arguments(relation, qids, k)
+        positions = relation.schema.positions(qids)
+        hierarchy_list = [self.hierarchies[name] for name in qids]
+        # Raw per-record values in QID order; categorical values must be
+        # hierarchy leaves.
+        columns = []
+        for name, position, hierarchy in zip(qids, positions, hierarchy_list):
+            column = [record[position] for record in relation]
+            if isinstance(hierarchy, CategoricalHierarchy):
+                for value in set(column):
+                    if not hierarchy.is_leaf(value):
+                        raise AnonymizationError(
+                            f"value {value!r} of {name!r} is not a leaf of its VGH"
+                        )
+            elif isinstance(hierarchy, PrefixHierarchy):
+                for value in set(column):
+                    if not hierarchy.is_node(value):
+                        raise AnonymizationError(
+                            f"value {value!r} of {name!r} exceeds the prefix "
+                            f"hierarchy's maximum length"
+                        )
+            columns.append(column)
+        child_lookup = [
+            ChildLookup(hierarchy, self.specialize_points)
+            for hierarchy in hierarchy_list
+        ]
+        if self.diversity > 1:
+            if self.sensitive_attribute not in relation.schema:
+                raise AnonymizationError(
+                    f"l-diversity needs attribute {self.sensitive_attribute!r}"
+                )
+            sensitive_position = relation.schema.position(
+                self.sensitive_attribute
+            )
+            self._sensitive_column = [
+                record[sensitive_position] for record in relation
+            ]
+            root_diversity = len(set(self._sensitive_column))
+            if root_diversity < self.diversity:
+                raise AnonymizationError(
+                    f"the relation only has {root_diversity} distinct "
+                    f"{self.sensitive_attribute!r} values; l="
+                    f"{self.diversity} is unattainable"
+                )
+        self._prepare(relation, qids)
+        root_sequence = [hierarchy.root for hierarchy in hierarchy_list]
+        stack = [_Partition(list(range(len(relation))), list(root_sequence))]
+        classes: list[EquivalenceClass] = []
+        while stack:
+            partition = stack.pop()
+            best = self._best_split(partition, columns, child_lookup, k)
+            if best is None:
+                classes.append(
+                    EquivalenceClass(
+                        tuple(partition.sequence), tuple(partition.indices)
+                    )
+                )
+                continue
+            attr_position, groups = best
+            for child_node, indices in groups.items():
+                child_sequence = list(partition.sequence)
+                child_sequence[attr_position] = child_node
+                stack.append(_Partition(indices, child_sequence))
+        classes.sort(key=lambda eq_class: eq_class.indices)
+        return GeneralizedRelation(
+            relation, qids, {name: self.hierarchies[name] for name in qids},
+            classes, k=k,
+        )
+
+    def _best_split(self, partition, columns, child_lookup, k):
+        best_score = None
+        best = None
+        for attr_position, lookup in enumerate(child_lookup):
+            groups = lookup.split(
+                partition.sequence[attr_position],
+                partition.indices,
+                columns[attr_position],
+            )
+            if groups is None:
+                continue
+            if any(len(indices) < k for indices in groups.values()):
+                continue
+            if not self._diverse_enough(groups):
+                continue
+            score = self._score(attr_position, partition.indices, groups)
+            if score is None:
+                continue
+            if best_score is None or score > best_score:
+                best_score = score
+                best = (attr_position, groups)
+        return best
+
+    def _diverse_enough(self, groups: dict) -> bool:
+        """l-diversity validity: each child keeps >= l sensitive values."""
+        if self.diversity <= 1:
+            return True
+        sensitive = self._sensitive_column
+        for indices in groups.values():
+            values = {sensitive[index] for index in indices}
+            if len(values) < self.diversity:
+                return False
+        return True
+
+    def _prepare(self, relation: Relation, qids: Sequence[str]) -> None:
+        """Hook for subclasses that need per-run precomputation."""
+
+    def _score(
+        self,
+        attr_position: int,
+        indices: list[int],
+        groups: dict,
+    ) -> float | None:
+        """Score a candidate specialization; ``None`` = not beneficial."""
+        raise NotImplementedError
+
+
+class ChildLookup:
+    """Maps (current node, record value) to the child node under that node."""
+
+    def __init__(self, hierarchy: Hierarchy, specialize_points: bool):
+        self.hierarchy = hierarchy
+        self.specialize_points = specialize_points
+        self._leaf_to_child: dict = {}
+        if isinstance(hierarchy, CategoricalHierarchy):
+            for node in hierarchy.nodes:
+                for child in hierarchy.children_of(node):
+                    for leaf in hierarchy.leaf_set(child):
+                        self._leaf_to_child[(node, leaf)] = child
+
+    def split(self, node, indices: list[int], column) -> dict | None:
+        """Group *indices* by the child of *node* their value falls under.
+
+        Returns ``None`` when *node* cannot be specialized further.
+        """
+        hierarchy = self.hierarchy
+        if isinstance(hierarchy, CategoricalHierarchy):
+            if hierarchy.is_leaf(node):
+                return None
+            groups: dict = {}
+            lookup = self._leaf_to_child
+            for index in indices:
+                child = lookup[(node, column[index])]
+                groups.setdefault(child, []).append(index)
+            return groups
+        if isinstance(hierarchy, PrefixHierarchy):
+            if hierarchy.is_leaf(node):
+                return None
+            groups = {}
+            for index in indices:
+                child = hierarchy.child_for(node, column[index])
+                groups.setdefault(child, []).append(index)
+            return groups
+        # Continuous attribute.
+        if isinstance(node, Interval) and node.is_point:
+            return None
+        assert isinstance(hierarchy, IntervalHierarchy)
+        children = hierarchy.children_of(node) if hierarchy.is_node(node) else ()
+        if children:
+            groups = {}
+            for index in indices:
+                value = float(column[index])
+                child = self._containing(children, value)
+                groups.setdefault(child, []).append(index)
+            return groups
+        if not self.specialize_points:
+            return None
+        # Leaf interval -> raw point values.
+        groups = {}
+        for index in indices:
+            point = Interval.point(float(column[index]))
+            groups.setdefault(point, []).append(index)
+        if len(groups) == 1 and next(iter(groups)) == node:
+            return None
+        return groups
+
+    @staticmethod
+    def _containing(children: tuple[Interval, ...], value: float) -> Interval:
+        for child in children:
+            if child.contains(value):
+                return child
+        # Domain upper bound: the last child absorbs it.
+        last = max(children, key=lambda interval: interval.hi)
+        if value == last.hi:
+            return last
+        raise AnonymizationError(
+            f"value {value!r} not covered by child intervals {children}"
+        )

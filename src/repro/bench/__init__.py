@@ -1,0 +1,15 @@
+"""Benchmark harness: one driver per table/figure of the paper.
+
+- :mod:`repro.bench.config` — experiment scale and default parameters
+  (Section VI's defaults: k=32, theta=0.05, allowance=1.5%, top-5 QIDs);
+- :mod:`repro.bench.runner` — sweep plumbing and ASCII table rendering;
+- :mod:`repro.bench.experiments` — the drivers behind ``benchmarks/`` and
+  the ``repro-bench`` CLI;
+- :mod:`repro.bench.cli` — ``repro-bench [experiment ...]`` regenerates
+  the tables recorded in EXPERIMENTS.md.
+"""
+
+from repro.bench.config import BenchConfig, ExperimentData
+from repro.bench.runner import render_table
+
+__all__ = ["BenchConfig", "ExperimentData", "render_table"]

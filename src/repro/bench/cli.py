@@ -1,0 +1,116 @@
+"""``repro-bench``: regenerate the paper's tables and figures as text.
+
+Usage::
+
+    repro-bench                 # run every experiment
+    repro-bench fig3 fig8       # run a subset
+    repro-bench --list          # show available experiment ids
+    REPRO_BENCH_SCALE=full repro-bench fig3   # paper-scale data
+
+Each experiment prints the table EXPERIMENTS.md records. Running a subset
+still shares anonymizations and blocking results across experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.config import BenchConfig, ExperimentData
+from repro.bench.experiments import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-bench`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the evaluation of 'A Hybrid Approach to "
+        "Private Record Linkage' (ICDE 2008).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids to run (default: all); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--records",
+        type=int,
+        default=None,
+        help="override the number of source records "
+        "(default: REPRO_BENCH_SCALE or 4500)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2008, help="experiment seed"
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the selected experiments' tables as JSON",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiments: {', '.join(unknown)} "
+            f"(choose from {', '.join(EXPERIMENTS)})"
+        )
+    if args.records is not None:
+        config = BenchConfig(source_records=args.records, seed=args.seed)
+    else:
+        config = BenchConfig(seed=args.seed)
+    data = ExperimentData(config)
+    print(
+        f"# repro-bench: {config.source_records} source records, "
+        f"seed {config.seed}, defaults k={config.k}, theta={config.theta}, "
+        f"allowance={config.allowance:.1%}, QIDs={config.qid_count}"
+    )
+    tables = []
+    for name in selected:
+        started = time.perf_counter()
+        table = EXPERIMENTS[name](data)
+        elapsed = time.perf_counter() - started
+        tables.append(table)
+        print()
+        print(table.render())
+        print(f"[{name} completed in {elapsed:.1f}s]")
+    if args.json:
+        import json
+
+        payload = {
+            "source_records": config.source_records,
+            "seed": config.seed,
+            "experiments": [
+                {
+                    "experiment": table.experiment,
+                    "title": table.title,
+                    "headers": list(table.headers),
+                    "rows": [list(row) for row in table.rows],
+                }
+                for table in tables
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote JSON results to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Sweep plumbing and plain-text table rendering for the bench drivers."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentTable:
+    """A rendered experiment: title, column headers, data rows."""
+
+    experiment: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def render(self) -> str:
+        """The table as monospace text (also what EXPERIMENTS.md records)."""
+        return f"{self.title}\n{render_table(self.headers, self.rows)}"
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name (for assertions in benches)."""
+        position = self.headers.index(header)
+        return [row[position] for row in self.rows]
+
+
+def format_cell(value) -> str:
+    """Render one table cell: percentages stay readable, floats compact."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}" if abs(value) >= 0.001 or value == 0 else f"{value:.2e}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    cells = [[format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[column]) for row in cells)) if cells else len(header)
+        for column, header in enumerate(headers)
+    ]
+    def line(values):
+        return " | ".join(
+            value.rjust(width) for value, width in zip(values, widths)
+        )
+
+    divider = "-+-".join("-" * width for width in widths)
+    body = [line(headers), divider]
+    body.extend(line(row) for row in cells)
+    return "\n".join(body)
+
+
+def as_percent(fraction: float) -> float:
+    """0.9757 -> 97.57 (the unit the paper's figures use)."""
+    return round(fraction * 100, 2)

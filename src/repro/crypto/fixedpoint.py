@@ -1,0 +1,82 @@
+"""Signed fixed-point encoding into the Paillier plaintext space.
+
+The SMC distance protocols work over integers mod ``n``; attribute values
+may be real-valued (and intermediate results like ``-2 * r.a_i`` are
+negative). The codec here scales reals by ``10^precision``, rounds to an
+integer, and wraps negatives mod ``n``; decoding reverses both steps.
+
+Squared distances scale by ``10^(2*precision)``, so the codec exposes
+:meth:`FixedPointCodec.decode_square` and threshold pre-scaling helpers —
+getting these exponents wrong is the classic bug in homomorphic distance
+code, and the tests pin them down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class FixedPointCodec:
+    """Encode/decode signed reals as integers mod *modulus*.
+
+    Parameters
+    ----------
+    modulus:
+        The Paillier ``n``. Values are considered negative when their
+        residue exceeds ``modulus // 2``.
+    precision:
+        Decimal digits preserved after the point. ``precision=0`` encodes
+        plain integers (enough for Adult's integer ages, and what the cost
+        benchmarks use).
+    """
+
+    modulus: int
+    precision: int = 4
+
+    @property
+    def scale(self) -> int:
+        """The multiplier ``10^precision``."""
+        return 10**self.precision
+
+    def encode(self, value: float) -> int:
+        """Scale, round and wrap *value* into ``[0, modulus)``."""
+        scaled = round(value * self.scale)
+        bound = self.modulus // 2
+        if not -bound <= scaled <= bound:
+            raise CryptoError(
+                f"value {value!r} does not fit the plaintext space at "
+                f"precision {self.precision}"
+            )
+        return scaled % self.modulus
+
+    def decode(self, residue: int) -> float:
+        """Inverse of :meth:`encode`."""
+        signed = self._signed(residue)
+        return signed / self.scale
+
+    def decode_square(self, residue: int) -> float:
+        """Decode a *product* of two encoded values (scale ``10^{2p}``)."""
+        signed = self._signed(residue)
+        return signed / (self.scale * self.scale)
+
+    def encode_square_threshold(self, threshold: float) -> int:
+        """Encode a squared-distance threshold on the product scale.
+
+        Comparing an encoded squared distance against a threshold requires
+        the threshold at scale ``10^{2p}``; rounding is downward so the
+        comparison never admits a pair the exact rule rejects.
+        """
+        scaled = int(threshold * self.scale * self.scale)
+        if scaled >= self.modulus // 2:
+            raise CryptoError("threshold does not fit the plaintext space")
+        return scaled
+
+    def _signed(self, residue: int) -> int:
+        if not 0 <= residue < self.modulus:
+            raise CryptoError(f"residue {residue} outside [0, modulus)")
+        if residue > self.modulus // 2:
+            return residue - self.modulus
+        return residue

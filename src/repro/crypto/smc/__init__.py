@@ -1,0 +1,37 @@
+"""Secure multi-party computation protocols for record linkage.
+
+The paper's Section V-A protocol cast:
+
+- the **querying party** generates a Paillier key pair and publishes the
+  public key;
+- **Alice** (left data holder) encrypts functions of her attribute value;
+- **Bob** (right data holder) combines them homomorphically with his value;
+- the querying party decrypts the (blinded) result.
+
+Modules:
+
+- :mod:`repro.crypto.smc.channel` — parties, sessions and transcript
+  accounting (messages, bytes, crypto-op counters);
+- :mod:`repro.crypto.smc.euclidean` — secure squared Euclidean distance;
+- :mod:`repro.crypto.smc.hamming` — secure equality / Hamming distance;
+- :mod:`repro.crypto.smc.comparison` — blinded threshold comparison, so
+  the querying party learns a match bit rather than the distance;
+- :mod:`repro.crypto.smc.oracle` — the :class:`SMCOracle` abstraction the
+  hybrid pipeline consumes, with a real-crypto backend and a counted
+  plaintext backend (the paper's cost model; see DESIGN.md §4).
+"""
+
+from repro.crypto.smc.channel import SMCSession, Transcript
+from repro.crypto.smc.oracle import (
+    CountingPlaintextOracle,
+    PaillierSMCOracle,
+    SMCOracle,
+)
+
+__all__ = [
+    "CountingPlaintextOracle",
+    "PaillierSMCOracle",
+    "SMCOracle",
+    "SMCSession",
+    "Transcript",
+]

@@ -1,0 +1,122 @@
+"""Protocol session plumbing: parties, message accounting, op counters.
+
+The protocols in this package are written as explicit sequences of
+party-labeled steps. Every ciphertext that crosses a party boundary is
+recorded on a :class:`Transcript`, and every expensive cryptographic
+operation bumps a counter, so benchmarks can report communication and
+computation costs without instrumenting the math.
+
+Party names follow the paper: ``alice`` and ``bob`` are the data holders,
+``query`` is the querying party that owns the key pair.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro._rng import make_random
+from repro.crypto.fixedpoint import FixedPointCodec
+from repro.crypto.paillier import PaillierKeyPair
+
+ALICE = "alice"
+BOB = "bob"
+QUERY = "query"
+
+
+@dataclass
+class Transcript:
+    """Accumulated communication and computation costs of a protocol run."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    operations: Counter = field(default_factory=Counter)
+
+    def record_message(self, sender: str, receiver: str, size_bytes: int) -> None:
+        """Account for one message of *size_bytes* crossing a boundary."""
+        if sender == receiver:
+            return
+        self.messages += 1
+        self.bytes_sent += size_bytes
+
+    def record_operation(self, name: str, count: int = 1) -> None:
+        """Bump the counter for a named crypto operation."""
+        self.operations[name] += count
+
+    def merged_with(self, other: "Transcript") -> "Transcript":
+        """Combine two transcripts (e.g. across protocol invocations)."""
+        merged = Transcript(
+            messages=self.messages + other.messages,
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+        )
+        merged.operations = self.operations + other.operations
+        return merged
+
+    def summary(self) -> str:
+        """One-line human-readable cost summary."""
+        ops = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.operations.items())
+        )
+        return (
+            f"{self.messages} messages, {self.bytes_sent} bytes"
+            + (f", {ops}" if ops else "")
+        )
+
+
+class SMCSession:
+    """Shared state for a series of protocol invocations.
+
+    Holds the querying party's key pair, a fixed-point codec sized to the
+    key, the transcript, and a deterministic RNG for blinding factors
+    (tests seed it; production callers default to system randomness).
+
+    Key distribution is part of the session setup: the public key is sent
+    from the querying party to both holders once, not per comparison —
+    matching the paper's protocol description.
+    """
+
+    def __init__(
+        self,
+        key_pair: PaillierKeyPair,
+        *,
+        precision: int = 4,
+        rng: int | random.Random | None = None,
+    ):
+        self.key_pair = key_pair
+        self.public_key = key_pair.public_key
+        self.private_key = key_pair.private_key
+        self.codec = FixedPointCodec(self.public_key.n, precision)
+        self.transcript = Transcript()
+        if rng is None:
+            self.rng: random.Random = random.SystemRandom()
+        else:
+            self.rng = make_random(rng)
+        key_bytes = (self.public_key.bits + 7) // 8
+        self.transcript.record_message(QUERY, ALICE, key_bytes)
+        self.transcript.record_message(QUERY, BOB, key_bytes)
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Wire size of one Paillier ciphertext under this session's key."""
+        return self.public_key.ciphertext_bytes
+
+    def send_ciphertexts(self, sender: str, receiver: str, count: int) -> None:
+        """Record *count* ciphertexts moving from *sender* to *receiver*."""
+        self.transcript.record_message(
+            sender, receiver, count * self.ciphertext_bytes
+        )
+
+    def random_blinder(self, magnitude_bound: int) -> int:
+        """A positive multiplicative blinding factor.
+
+        The product ``blinder * plaintext`` must stay within the signed
+        half of the plaintext space, so the blinder is capped by
+        ``(n // 2) // magnitude_bound`` (and by 2^64, which already hides
+        magnitudes thoroughly).
+        """
+        ceiling = (self.public_key.n // 2) // max(magnitude_bound, 1)
+        ceiling = min(ceiling, 2**64)
+        if ceiling < 2:
+            return 1
+        return self.rng.randrange(1, ceiling)

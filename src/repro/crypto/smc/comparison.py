@@ -1,0 +1,70 @@
+"""Blinded threshold comparison: hide the distance, reveal only the bit.
+
+The paper: "Such secure distance evaluation could be combined with secure
+comparison to not to reveal even the distance result." This module supplies
+that combination for the squared-Euclidean protocol:
+
+1. Alice and Bob run their :mod:`~repro.crypto.smc.euclidean` steps to get
+   ``E(d^2)`` at Bob;
+2. Bob subtracts the (public) squared threshold: ``E(m) = E(d^2 - t^2)``,
+   so the pair matches exactly when ``m <= 0``;
+3. Bob multiplies by a random *positive* ``rho`` — the sign of ``rho * m``
+   equals the sign of ``m`` — re-randomizes, and forwards to the querying
+   party;
+4. the querying party decrypts with signed decoding and reports
+   ``rho * m <= 0``.
+
+Leakage analysis (documented, as the paper leaves the comparison abstract):
+the querying party sees ``rho * m`` for uniform ``rho`` in ``[1, R)``. The
+sign is the intended output; the magnitude reveals at most the order of
+magnitude of ``|m|`` relative to ``R`` (and ``m = 0`` is visible exactly —
+the boundary case where the distance equals the threshold). A
+bit-decomposition comparison would remove even that at substantially
+higher cost; the blinded sign test matches the paper's cost envelope of
+"a few ciphertexts per attribute".
+"""
+
+from __future__ import annotations
+
+from repro.crypto.smc.channel import BOB, QUERY, SMCSession
+from repro.crypto.smc.euclidean import alice_encrypts, bob_combines
+
+
+def secure_within_threshold(
+    session: SMCSession,
+    alice_value: float,
+    bob_value: float,
+    threshold: float,
+    *,
+    magnitude_bound: float | None = None,
+) -> bool:
+    """True when ``|alice_value - bob_value| <= threshold``.
+
+    ``magnitude_bound`` caps ``|d^2 - t^2|`` on the *encoded* scale and
+    sizes the blinding factor; by default it is derived from the larger of
+    the operands and the threshold, which is safe for attribute domains
+    (the values the linkage protocol feeds in are domain-bounded).
+    """
+    alice_square, alice_minus_twice = alice_encrypts(session, alice_value)
+    encrypted_distance = bob_combines(
+        session, alice_square, alice_minus_twice, bob_value
+    )
+    codec = session.codec
+    encoded_threshold = codec.encode_square_threshold(threshold * threshold)
+    margin = encrypted_distance - encoded_threshold
+    if magnitude_bound is None:
+        magnitude_bound = max(
+            abs(alice_value), abs(bob_value), threshold, 1.0
+        )
+        # d^2 <= (|a| + |b|)^2 <= (2 * bound)^2 on the raw scale.
+        magnitude_bound = 4.0 * magnitude_bound * magnitude_bound
+    encoded_bound = int(magnitude_bound * codec.scale * codec.scale) + 1
+    rho = session.random_blinder(encoded_bound)
+    blinded = (margin * rho).rerandomize(session.rng)
+    session.transcript.record_operation("homomorphic_add", 1)
+    session.transcript.record_operation("homomorphic_scale", 1)
+    session.transcript.record_operation("rerandomize", 1)
+    session.send_ciphertexts(BOB, QUERY, 1)
+    signed = session.private_key.decrypt_signed(blinded)
+    session.transcript.record_operation("decrypt", 1)
+    return signed <= 0

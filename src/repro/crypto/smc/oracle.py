@@ -1,0 +1,231 @@
+"""The SMC oracle abstraction the hybrid pipeline consumes.
+
+The blocking step hands unknown record pairs to "the SMC circuit", which
+plays the role of the accurate-but-expensive domain expert (Section IV's
+analogy). The pipeline only needs one operation — *does this record pair
+match?* — so the oracle interface is exactly that, plus cost accounting.
+
+Two interchangeable backends (DESIGN.md §4, substitution 3):
+
+- :class:`PaillierSMCOracle` runs the real three-party protocols per
+  attribute. Used in tests and the timing benchmark.
+- :class:`CountingPlaintextOracle` returns the same (exact) answer while
+  only *counting* invocations — mirroring the paper's own cost model,
+  which "restricted ... to the number of SMC protocol invocations" because
+  crypto cost dwarfs everything else. Used for the large recall sweeps.
+
+Both count invocations identically, so every figure that reports costs is
+backend-independent.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.crypto.paillier import PaillierKeyPair
+from repro.crypto.smc.channel import SMCSession
+from repro.crypto.smc.comparison import secure_within_threshold
+from repro.crypto.smc.euclidean import secure_squared_distance
+from repro.crypto.smc.hamming import secure_equality
+from repro.data.schema import Record, Schema
+from repro.errors import ProtocolError
+from repro.linkage.distances import MatchRule
+
+
+class SMCOracle(abc.ABC):
+    """Answers exact match queries for record pairs, counting costs."""
+
+    def __init__(self, rule: MatchRule, schema: Schema):
+        self.rule = rule
+        self.bound = rule.bind(schema)
+        self.invocations = 0
+        self.attribute_comparisons = 0
+
+    def compare(self, left: Record, right: Record) -> bool:
+        """True when the pair matches under the decision rule ``dr``."""
+        self.invocations += 1
+        return self._compare(left, right)
+
+    @abc.abstractmethod
+    def _compare(self, left: Record, right: Record) -> bool:
+        """Backend-specific comparison."""
+
+    def compare_block(
+        self,
+        left_records: list[Record],
+        right_records: list[Record],
+        take: int,
+    ) -> list[tuple[int, int]]:
+        """Compare the first *take* pairs of a block in row-major order.
+
+        Returns the matching ``(left_offset, right_offset)`` positions.
+        The base implementation simply loops over :meth:`compare`; the
+        counting backend overrides it with a vectorized path. Both charge
+        exactly *take* invocations, so the cost model is unaffected.
+        """
+        matches = []
+        remaining = take
+        for left_offset, left_record in enumerate(left_records):
+            if remaining <= 0:
+                break
+            for right_offset, right_record in enumerate(right_records):
+                if remaining <= 0:
+                    break
+                remaining -= 1
+                if self.compare(left_record, right_record):
+                    matches.append((left_offset, right_offset))
+        return matches
+
+    def reset(self) -> None:
+        """Zero the cost counters (e.g. between sweep points)."""
+        self.invocations = 0
+        self.attribute_comparisons = 0
+
+
+class CountingPlaintextOracle(SMCOracle):
+    """Exact answers, real invoice: counts what the crypto would cost.
+
+    ``attribute_comparisons`` counts the secure comparisons a real backend
+    would have executed (thresholds of 1 or more on categorical attributes
+    never require a protocol run).
+    """
+
+    def __init__(self, rule: MatchRule, schema: Schema):
+        super().__init__(rule, schema)
+        self._billable = sum(
+            1
+            for attribute in rule
+            if attribute.is_continuous
+            or attribute.is_string
+            or attribute.threshold < 1
+        )
+
+    def _compare(self, left: Record, right: Record) -> bool:
+        self.attribute_comparisons += self._billable
+        return self.bound.matches(left, right)
+
+    def compare_block(self, left_records, right_records, take):
+        """Vectorized row-major block comparison (numpy broadcasting).
+
+        Rules containing an edit-distance attribute with a real budget
+        fall back to the scalar loop (edit distance does not vectorize);
+        everything else evaluates the whole block as boolean matrices.
+        Billing is identical to *take* scalar invocations.
+        """
+        if any(
+            attribute.is_string and attribute.threshold >= 1
+            for attribute in self.rule
+        ):
+            return super().compare_block(left_records, right_records, take)
+        import numpy as np
+
+        right_count = len(right_records)
+        if take <= 0 or right_count == 0 or not left_records:
+            return []
+        full_rows, remainder = divmod(take, right_count)
+        rows = min(full_rows + (1 if remainder else 0), len(left_records))
+        matches_matrix = np.ones((rows, right_count), dtype=bool)
+        for attribute, position in zip(
+            self.rule, self.bound._positions
+        ):
+            left_column = [
+                left_records[row][position] for row in range(rows)
+            ]
+            right_column = [record[position] for record in right_records]
+            if attribute.is_continuous:
+                left_values = np.asarray(left_column, dtype=float)[:, None]
+                right_values = np.asarray(right_column, dtype=float)[None, :]
+                within = (
+                    np.abs(left_values - right_values)
+                    <= attribute.effective_threshold
+                )
+            elif attribute.threshold < 1:
+                left_values = np.asarray(left_column, dtype=object)[:, None]
+                right_values = np.asarray(right_column, dtype=object)[None, :]
+                within = left_values == right_values
+            else:
+                continue  # loose Hamming threshold never constrains
+            matches_matrix &= within
+        if remainder and rows == full_rows + 1:
+            matches_matrix[-1, remainder:] = False
+        self.invocations += take
+        self.attribute_comparisons += take * self._billable
+        rows_idx, cols_idx = np.nonzero(matches_matrix)
+        return list(zip(rows_idx.tolist(), cols_idx.tolist()))
+
+
+class PaillierSMCOracle(SMCOracle):
+    """The real three-party protocol stack.
+
+    Parameters
+    ----------
+    rule, schema:
+        The match rule and the (shared) relation schema.
+    key_bits:
+        Paillier modulus size; the paper uses 1024.
+    hide_distances:
+        When true (default) continuous attributes use the blinded
+        threshold comparison, so the querying party learns only match
+        bits. When false, the basic Section V-A protocol runs and the
+        querying party compares the revealed distance itself.
+    rng:
+        Seed or RNG for key generation and blinding (tests pass a seed;
+        ``None`` uses system randomness).
+    """
+
+    def __init__(
+        self,
+        rule: MatchRule,
+        schema: Schema,
+        *,
+        key_bits: int = 1024,
+        hide_distances: bool = True,
+        precision: int = 4,
+        rng: int | random.Random | None = None,
+    ):
+        super().__init__(rule, schema)
+        if isinstance(rng, int):
+            rng = random.Random(rng)
+        self._key_pair = PaillierKeyPair.generate(key_bits, rng)
+        self.session = SMCSession(self._key_pair, precision=precision, rng=rng)
+        self.hide_distances = hide_distances
+        self._positions = schema.positions(rule.names)
+
+    def _compare(self, left: Record, right: Record) -> bool:
+        for attribute, position in zip(self.rule, self._positions):
+            left_value = left[position]
+            right_value = right[position]
+            if attribute.is_continuous:
+                self.attribute_comparisons += 1
+                threshold = attribute.effective_threshold
+                if self.hide_distances:
+                    within = secure_within_threshold(
+                        self.session, left_value, right_value, threshold
+                    )
+                else:
+                    squared = secure_squared_distance(
+                        self.session, left_value, right_value
+                    )
+                    within = squared <= threshold * threshold + 1e-9
+                if not within:
+                    return False
+            elif attribute.is_string:
+                if attribute.threshold >= 1:
+                    # A secure *approximate* edit-distance protocol is the
+                    # open problem the paper's Section VIII names; only the
+                    # exact-equality case is supported cryptographically.
+                    raise ProtocolError(
+                        f"no secure edit-distance protocol for "
+                        f"{attribute.name!r} with threshold >= 1; use the "
+                        "plaintext cost-model oracle for that configuration"
+                    )
+                self.attribute_comparisons += 1
+                if not secure_equality(self.session, left_value, right_value):
+                    return False
+            elif attribute.threshold < 1:
+                self.attribute_comparisons += 1
+                if not secure_equality(self.session, left_value, right_value):
+                    return False
+            # Hamming threshold >= 1 can never be exceeded: no protocol run.
+        return True

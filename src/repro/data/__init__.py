@@ -1,0 +1,35 @@
+"""Tabular data substrate: schemas, relations, hierarchies and data sets.
+
+This subpackage supplies everything the linkage pipeline consumes:
+
+- :mod:`repro.data.schema` — typed attributes, schemas and immutable
+  relations (the paper's ``R(A1..An)`` / ``S(A1..An)``);
+- :mod:`repro.data.vgh` — value generalization hierarchies and interval
+  hierarchies, with the ``specSet`` machinery of Section IV;
+- :mod:`repro.data.hierarchies` — the concrete Adult VGHs and the toy
+  Education / Work-Hrs VGHs from the paper's Figure 1;
+- :mod:`repro.data.adult` — the UCI Adult data set (file loader and a
+  faithful synthetic generator for offline use);
+- :mod:`repro.data.partition` — the D1/D2 experiment construction and the
+  ground-truth match oracle.
+"""
+
+from repro.data.schema import Attribute, AttributeKind, Record, Relation, Schema
+from repro.data.vgh import (
+    CategoricalHierarchy,
+    GeneralizedValue,
+    Interval,
+    IntervalHierarchy,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "CategoricalHierarchy",
+    "GeneralizedValue",
+    "Interval",
+    "IntervalHierarchy",
+    "Record",
+    "Relation",
+    "Schema",
+]

@@ -1,0 +1,366 @@
+"""Concrete value generalization hierarchies.
+
+Two families live here:
+
+- the **toy VGHs of the paper's Figure 1** (Education and Work-Hrs), used by
+  the Section III walk-through that our tests reproduce number-for-number;
+- the **Adult VGHs** for the eight quasi-identifier attributes used in the
+  paper's experiments ("we adopted value generalization hierarchies of all
+  attributes, except the continuous age attribute, from [7]"; for age, "the
+  hierarchy that we used consists of 4 levels and equi-width leaf nodes
+  cover 8-unit intervals"). The exact taxonomies of [7] are not reprinted in
+  the paper, so these follow the standard Adult groupings from the
+  anonymization literature — see DESIGN.md §4 substitution 2.
+
+All constructors are functions (not module-level singletons) so tests can
+freely mutate copies; :func:`adult_hierarchies` caches nothing.
+"""
+
+from __future__ import annotations
+
+from repro.data.vgh import CategoricalHierarchy, IntervalHierarchy
+
+# ---------------------------------------------------------------------------
+# Paper Figure 1: toy hierarchies for the Section III worked example.
+# ---------------------------------------------------------------------------
+
+
+def toy_education_vgh() -> CategoricalHierarchy:
+    """The Education VGH of Figure 1 (left)."""
+    return CategoricalHierarchy(
+        "education",
+        {
+            "ANY": {
+                "Secondary": {
+                    "Junior Sec.": ["9th", "10th"],
+                    "Senior Sec.": ["11th", "12th"],
+                },
+                "University": {
+                    "Bachelors": [],
+                    "Grad School": ["Masters", "Doctorate"],
+                },
+            },
+        },
+    )
+
+
+def toy_work_hrs_vgh() -> IntervalHierarchy:
+    """The Work-Hrs VGH of Figure 1 (right): [1-99) → [1-37),[37-99) → ...
+
+    Leaves are ``[1-35)``, ``[35-37)`` and ``[37-99)``; the domain range
+    (the paper's ``normFactor``) is 98.
+    """
+    return IntervalHierarchy.from_tree(
+        "work_hrs",
+        (1, 99, [(1, 37, [(1, 35), (35, 37)]), (37, 99)]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Adult quasi-identifier hierarchies.
+# ---------------------------------------------------------------------------
+
+WORKCLASS_VALUES = (
+    "Private",
+    "Self-emp-not-inc",
+    "Self-emp-inc",
+    "Federal-gov",
+    "Local-gov",
+    "State-gov",
+    "Without-pay",
+)
+
+EDUCATION_VALUES = (
+    "Preschool",
+    "1st-4th",
+    "5th-6th",
+    "7th-8th",
+    "9th",
+    "10th",
+    "11th",
+    "12th",
+    "HS-grad",
+    "Some-college",
+    "Assoc-voc",
+    "Assoc-acdm",
+    "Bachelors",
+    "Masters",
+    "Prof-school",
+    "Doctorate",
+)
+
+MARITAL_STATUS_VALUES = (
+    "Married-civ-spouse",
+    "Married-AF-spouse",
+    "Married-spouse-absent",
+    "Divorced",
+    "Separated",
+    "Widowed",
+    "Never-married",
+)
+
+OCCUPATION_VALUES = (
+    "Exec-managerial",
+    "Prof-specialty",
+    "Adm-clerical",
+    "Sales",
+    "Tech-support",
+    "Craft-repair",
+    "Machine-op-inspct",
+    "Handlers-cleaners",
+    "Transport-moving",
+    "Farming-fishing",
+    "Other-service",
+    "Priv-house-serv",
+    "Protective-serv",
+    "Armed-Forces",
+)
+
+RACE_VALUES = (
+    "White",
+    "Black",
+    "Asian-Pac-Islander",
+    "Amer-Indian-Eskimo",
+    "Other",
+)
+
+SEX_VALUES = ("Male", "Female")
+
+NATIVE_COUNTRY_VALUES = (
+    # North America
+    "United-States",
+    "Canada",
+    "Outlying-US(Guam-USVI-etc)",
+    # Latin America & Caribbean
+    "Mexico",
+    "Puerto-Rico",
+    "Cuba",
+    "Honduras",
+    "Jamaica",
+    "Dominican-Republic",
+    "Ecuador",
+    "Haiti",
+    "Columbia",
+    "Guatemala",
+    "Nicaragua",
+    "El-Salvador",
+    "Trinadad&Tobago",
+    "Peru",
+    # Europe
+    "England",
+    "Germany",
+    "Greece",
+    "Italy",
+    "Poland",
+    "Portugal",
+    "Ireland",
+    "France",
+    "Hungary",
+    "Scotland",
+    "Yugoslavia",
+    "Holand-Netherlands",
+    # Asia
+    "Cambodia",
+    "India",
+    "Japan",
+    "China",
+    "Iran",
+    "Philippines",
+    "Vietnam",
+    "Laos",
+    "Taiwan",
+    "Thailand",
+    "South",
+    "Hong",
+)
+
+AGE_MIN = 17
+AGE_MAX = 91  # exclusive upper bound: ages in the Adult data run 17..90
+
+
+def age_vgh() -> IntervalHierarchy:
+    """The paper's age hierarchy: 4 levels, 8-unit equi-width leaves."""
+    return IntervalHierarchy.equi_width(
+        "age", AGE_MIN, AGE_MAX, leaf_width=8, levels=3
+    )
+
+
+def workclass_vgh() -> CategoricalHierarchy:
+    """Workclass taxonomy: government / self-employed / private / unpaid."""
+    return CategoricalHierarchy(
+        "workclass",
+        {
+            "ANY": {
+                "With-Pay": {
+                    "Government": ["Federal-gov", "Local-gov", "State-gov"],
+                    "Self-Employed": ["Self-emp-inc", "Self-emp-not-inc"],
+                    "Private-Sector": ["Private"],
+                },
+                "Without-Pay-Group": ["Without-pay"],
+            },
+        },
+    )
+
+
+def education_vgh() -> CategoricalHierarchy:
+    """Education taxonomy mirroring the shape of the paper's Figure 1."""
+    return CategoricalHierarchy(
+        "education",
+        {
+            "ANY": {
+                "Secondary": {
+                    "Elementary": ["Preschool", "1st-4th", "5th-6th", "7th-8th"],
+                    "Junior-Secondary": ["9th", "10th"],
+                    "Senior-Secondary": ["11th", "12th", "HS-grad"],
+                },
+                "University": {
+                    "Some-University": ["Some-college", "Assoc-voc", "Assoc-acdm"],
+                    "Undergraduate": ["Bachelors"],
+                    "Graduate": ["Masters", "Prof-school", "Doctorate"],
+                },
+            },
+        },
+    )
+
+
+def marital_status_vgh() -> CategoricalHierarchy:
+    """Marital-status taxonomy: married / previously married / never."""
+    return CategoricalHierarchy(
+        "marital_status",
+        {
+            "ANY": {
+                "Married": [
+                    "Married-civ-spouse",
+                    "Married-AF-spouse",
+                    "Married-spouse-absent",
+                ],
+                "Previously-Married": ["Divorced", "Separated", "Widowed"],
+                "Never-Married-Group": ["Never-married"],
+            },
+        },
+    )
+
+
+def occupation_vgh() -> CategoricalHierarchy:
+    """Occupation taxonomy: white collar / blue collar / service / military."""
+    return CategoricalHierarchy(
+        "occupation",
+        {
+            "ANY": {
+                "White-Collar": [
+                    "Exec-managerial",
+                    "Prof-specialty",
+                    "Adm-clerical",
+                    "Sales",
+                    "Tech-support",
+                ],
+                "Blue-Collar": [
+                    "Craft-repair",
+                    "Machine-op-inspct",
+                    "Handlers-cleaners",
+                    "Transport-moving",
+                    "Farming-fishing",
+                ],
+                "Service": ["Other-service", "Priv-house-serv", "Protective-serv"],
+                "Military": ["Armed-Forces"],
+            },
+        },
+    )
+
+
+def race_vgh() -> CategoricalHierarchy:
+    """Race taxonomy: a flat two-level hierarchy."""
+    return CategoricalHierarchy("race", {"ANY": list(RACE_VALUES)})
+
+
+def sex_vgh() -> CategoricalHierarchy:
+    """Sex taxonomy: a flat two-level hierarchy."""
+    return CategoricalHierarchy("sex", {"ANY": list(SEX_VALUES)})
+
+
+def native_country_vgh() -> CategoricalHierarchy:
+    """Native-country taxonomy grouped by region of origin."""
+    return CategoricalHierarchy(
+        "native_country",
+        {
+            "ANY": {
+                "North-America": [
+                    "United-States",
+                    "Canada",
+                    "Outlying-US(Guam-USVI-etc)",
+                ],
+                "Latin-America": [
+                    "Mexico",
+                    "Puerto-Rico",
+                    "Cuba",
+                    "Honduras",
+                    "Jamaica",
+                    "Dominican-Republic",
+                    "Ecuador",
+                    "Haiti",
+                    "Columbia",
+                    "Guatemala",
+                    "Nicaragua",
+                    "El-Salvador",
+                    "Trinadad&Tobago",
+                    "Peru",
+                ],
+                "Europe": [
+                    "England",
+                    "Germany",
+                    "Greece",
+                    "Italy",
+                    "Poland",
+                    "Portugal",
+                    "Ireland",
+                    "France",
+                    "Hungary",
+                    "Scotland",
+                    "Yugoslavia",
+                    "Holand-Netherlands",
+                ],
+                "Asia": [
+                    "Cambodia",
+                    "India",
+                    "Japan",
+                    "China",
+                    "Iran",
+                    "Philippines",
+                    "Vietnam",
+                    "Laos",
+                    "Taiwan",
+                    "Thailand",
+                    "South",
+                    "Hong",
+                ],
+            },
+        },
+    )
+
+
+# The paper's quasi-identifier ordering: "For the experiment with q
+# quasi-identifiers, we used top-q of the attributes in this set."
+ADULT_QID_ORDER = (
+    "age",
+    "workclass",
+    "education",
+    "marital_status",
+    "occupation",
+    "race",
+    "sex",
+    "native_country",
+)
+
+
+def adult_hierarchies() -> dict[str, CategoricalHierarchy | IntervalHierarchy]:
+    """All eight Adult QID hierarchies, keyed by attribute name."""
+    return {
+        "age": age_vgh(),
+        "workclass": workclass_vgh(),
+        "education": education_vgh(),
+        "marital_status": marital_status_vgh(),
+        "occupation": occupation_vgh(),
+        "race": race_vgh(),
+        "sex": sex_vgh(),
+        "native_country": native_country_vgh(),
+    }

@@ -1,0 +1,110 @@
+"""The paper's D1/D2 experiment construction.
+
+Section VI: "the remaining 30,162 records were randomly partitioned into
+three data sets, d1, d2 and d3, each consisting of 10,054 records. Then, we
+merged d1 and d3 to build the first data set, D1, and d2 and d3 to build
+the second data set, D2." Regardless of the matching thresholds, the shared
+third ``d3`` guarantees a non-empty true match set.
+
+:class:`LinkagePair` keeps the indices of the shared records on both sides,
+which gives tests an exact oracle for the *planted* matches (the full
+ground-truth oracle, which also finds coincidental matches under loose
+thresholds, lives in :mod:`repro.linkage.ground_truth`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro._rng import make_random
+from repro.data.schema import Relation
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class LinkagePair:
+    """Two relations to link plus bookkeeping about their construction.
+
+    Attributes
+    ----------
+    left, right:
+        The relations D1 and D2.
+    shared_left, shared_right:
+        Record indices (into ``left`` / ``right``) of the shared partition
+        d3, aligned pairwise: ``left[shared_left[i]] == right[shared_right[i]]``.
+    """
+
+    left: Relation
+    right: Relation
+    shared_left: tuple[int, ...]
+    shared_right: tuple[int, ...]
+
+    @property
+    def planted_matches(self) -> int:
+        """Number of record pairs shared by construction."""
+        return len(self.shared_left)
+
+    @property
+    def total_pairs(self) -> int:
+        """|D1 x D2|, the denominator of SMC-allowance percentages."""
+        return len(self.left) * len(self.right)
+
+
+def split_three_way(
+    relation: Relation, seed: int | random.Random | None = None
+) -> tuple[Relation, Relation, Relation]:
+    """Randomly partition *relation* into three equal-size parts.
+
+    A remainder of one or two records (when the size is not divisible by
+    three) is dropped, mirroring the paper's 30,162 → 3 × 10,054 split.
+    """
+    rng = make_random(seed)
+    indices = list(range(len(relation)))
+    rng.shuffle(indices)
+    third = len(relation) // 3
+    if third == 0:
+        raise SchemaError("relation too small to split three ways")
+    parts = (
+        relation.take(indices[:third]),
+        relation.take(indices[third : 2 * third]),
+        relation.take(indices[2 * third : 3 * third]),
+    )
+    return parts
+
+
+def build_linkage_pair(
+    relation: Relation,
+    seed: int | random.Random | None = None,
+    *,
+    shuffle_sides: bool = True,
+) -> LinkagePair:
+    """Build the paper's (D1, D2) pair from a single source relation.
+
+    ``shuffle_sides`` reshuffles each side after the merge so that shared
+    records do not sit in a recognizable block; the alignment bookkeeping in
+    the returned :class:`LinkagePair` is updated accordingly.
+    """
+    rng = make_random(seed)
+    d1, d2, d3 = split_three_way(relation, rng)
+    left = d1.concat(d3)
+    right = d2.concat(d3)
+    shared_left = list(range(len(d1), len(d1) + len(d3)))
+    shared_right = list(range(len(d2), len(d2) + len(d3)))
+    if shuffle_sides:
+        left_order = list(range(len(left)))
+        right_order = list(range(len(right)))
+        rng.shuffle(left_order)
+        rng.shuffle(right_order)
+        left = left.take(left_order)
+        right = right.take(right_order)
+        left_position = {old: new for new, old in enumerate(left_order)}
+        right_position = {old: new for new, old in enumerate(right_order)}
+        shared_left = [left_position[index] for index in shared_left]
+        shared_right = [right_position[index] for index in shared_right]
+    return LinkagePair(
+        left=left,
+        right=right,
+        shared_left=tuple(shared_left),
+        shared_right=tuple(shared_right),
+    )

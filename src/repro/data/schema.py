@@ -1,0 +1,283 @@
+"""Typed attributes, schemas and immutable relations.
+
+The paper models the inputs as two relations ``R(A1..An)`` and ``S(A1..An)``
+with matching schemas. We mirror that with three small types:
+
+- :class:`Attribute` — a named column that is either categorical (string
+  values, compared with Hamming distance) or continuous (numeric values,
+  compared with normalized Euclidean distance);
+- :class:`Schema` — an ordered collection of attributes with name lookup;
+- :class:`Relation` — an immutable table of records conforming to a schema.
+
+Records are plain tuples, positionally aligned with the schema. Relations
+are deliberately immutable: anonymization and linkage never mutate their
+inputs, which keeps the three-party protocol simulation honest (a party's
+view is exactly the relations it was handed).
+"""
+
+from __future__ import annotations
+
+import csv
+import enum
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SchemaError
+
+Record = tuple[Any, ...]
+
+
+class AttributeKind(enum.Enum):
+    """The two attribute families the paper's classifier distinguishes."""
+
+    CATEGORICAL = "categorical"
+    CONTINUOUS = "continuous"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    kind:
+        Whether values are categorical (strings) or continuous (numbers).
+    """
+
+    name: str
+    kind: AttributeKind
+
+    @staticmethod
+    def categorical(name: str) -> "Attribute":
+        """Build a categorical attribute."""
+        return Attribute(name, AttributeKind.CATEGORICAL)
+
+    @staticmethod
+    def continuous(name: str) -> "Attribute":
+        """Build a continuous attribute."""
+        return Attribute(name, AttributeKind.CONTINUOUS)
+
+    @property
+    def is_continuous(self) -> bool:
+        """True when this attribute holds numeric values."""
+        return self.kind is AttributeKind.CONTINUOUS
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` when *value* does not fit this column."""
+        if self.is_continuous:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SchemaError(
+                    f"attribute {self.name!r} is continuous but got {value!r}"
+                )
+        elif not isinstance(value, str):
+            raise SchemaError(
+                f"attribute {self.name!r} is categorical but got {value!r}"
+            )
+
+
+class Schema:
+    """An ordered, name-indexed collection of :class:`Attribute` objects."""
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        self._attributes = tuple(attributes)
+        self._index: dict[str, int] = {}
+        for position, attribute in enumerate(self._attributes):
+            if attribute.name in self._index:
+                raise SchemaError(f"duplicate attribute name {attribute.name!r}")
+            self._index[attribute.name] = position
+        if not self._attributes:
+            raise SchemaError("a schema needs at least one attribute")
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """The attributes, in declaration order."""
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names, in declaration order."""
+        return tuple(attribute.name for attribute in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{attribute.name}:{attribute.kind.value}" for attribute in self
+        )
+        return f"Schema({inner})"
+
+    def position(self, name: str) -> int:
+        """Return the column position of attribute *name*."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def positions(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Return column positions for several attribute names at once."""
+        return tuple(self.position(name) for name in names)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema restricted to *names*, in the given order."""
+        return Schema(self[name] for name in names)
+
+    def validate_record(self, record: Record) -> None:
+        """Raise :class:`SchemaError` when *record* does not fit this schema."""
+        if len(record) != len(self._attributes):
+            raise SchemaError(
+                f"record has {len(record)} fields, schema has {len(self)}"
+            )
+        for attribute, value in zip(self._attributes, record):
+            attribute.validate(value)
+
+
+class Relation:
+    """An immutable table of records conforming to a :class:`Schema`.
+
+    Iterating a relation yields records (tuples); ``relation.column(name)``
+    gives a column view. Construction validates every record against the
+    schema unless ``validate=False`` (used internally on already-checked
+    data, e.g. projections).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        records: Iterable[Record],
+        *,
+        validate: bool = True,
+    ):
+        self._schema = schema
+        self._records = tuple(tuple(record) for record in records)
+        if validate:
+            for record in self._records:
+                schema.validate_record(record)
+
+    @property
+    def schema(self) -> Schema:
+        """The schema every record conforms to."""
+        return self._schema
+
+    @property
+    def records(self) -> tuple[Record, ...]:
+        """All records, in insertion order."""
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and self._records == other._records
+
+    def __repr__(self) -> str:
+        return f"Relation({self._schema!r}, {len(self)} records)"
+
+    @classmethod
+    def from_dicts(
+        cls, schema: Schema, rows: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build a relation from mappings keyed by attribute name."""
+        names = schema.names
+        return cls(schema, (tuple(row[name] for name in names) for row in rows))
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Render the relation as a list of per-record dicts."""
+        names = self._schema.names
+        return [dict(zip(names, record)) for record in self._records]
+
+    def column(self, name: str) -> tuple[Any, ...]:
+        """Return the values of attribute *name*, in record order."""
+        position = self._schema.position(name)
+        return tuple(record[position] for record in self._records)
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Return a new relation keeping only *names*, in the given order."""
+        positions = self._schema.positions(names)
+        projected = (
+            tuple(record[position] for position in positions)
+            for record in self._records
+        )
+        return Relation(self._schema.project(names), projected, validate=False)
+
+    def take(self, indices: Sequence[int]) -> "Relation":
+        """Return a new relation containing the records at *indices*."""
+        picked = (self._records[index] for index in indices)
+        return Relation(self._schema, picked, validate=False)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Return the concatenation of this relation with *other*."""
+        if other.schema != self._schema:
+            raise SchemaError("cannot concatenate relations with different schemas")
+        return Relation(
+            self._schema, self._records + other._records, validate=False
+        )
+
+    def distinct_values(self, name: str) -> set[Any]:
+        """Return the set of distinct values of attribute *name*."""
+        return set(self.column(name))
+
+    def write_csv(self, path: str) -> None:
+        """Write the relation to *path* as a header-first CSV file."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self._schema.names)
+            writer.writerows(self._records)
+
+    @classmethod
+    def read_csv(cls, schema: Schema, path: str) -> "Relation":
+        """Read a relation written by :meth:`write_csv`.
+
+        Continuous columns are parsed as ``float`` (integral values are
+        narrowed back to ``int`` so round-trips preserve record equality).
+        """
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            if tuple(header) != schema.names:
+                raise SchemaError(
+                    f"CSV header {header!r} does not match schema {schema.names!r}"
+                )
+            continuous = [attribute.is_continuous for attribute in schema]
+            records = []
+            for row in reader:
+                record = []
+                for is_continuous, text in zip(continuous, row):
+                    if is_continuous:
+                        number = float(text)
+                        record.append(int(number) if number.is_integer() else number)
+                    else:
+                        record.append(text)
+                records.append(tuple(record))
+        return cls(schema, records)

@@ -1,0 +1,148 @@
+"""Prefix generalization for alphanumeric attributes (paper Section VIII).
+
+The paper leaves string-valued attributes (names, addresses) as future
+work, naming the two challenges: richer distance functions (edit distance
+instead of Hamming) and a choice of generalization mechanisms. This module
+implements the natural *prefix* mechanism:
+
+- a string generalizes by truncating to a prefix pattern, written
+  ``"smi*"``; its specialization set is every string that extends the
+  prefix (up to a declared maximum length);
+- the root pattern ``"*"`` stands for the whole domain;
+- a pattern without the trailing ``'*'`` is a concrete string — the fully
+  specific level, so k=1 publishes original values just like the other
+  attribute families.
+
+:class:`PrefixHierarchy` exposes the same navigation vocabulary as the
+categorical/interval hierarchies (``root``, ``depth_of``, ``generalize``),
+which is what the anonymizers and the slack rule key on. Unlike a VGH the
+tree is *implicit* — children are data-dependent (one branch per observed
+next character), so the top-down anonymizers enumerate them from the
+partition at hand.
+
+Edit-distance slack bounds for prefix patterns live in
+:func:`repro.linkage.slack.prefix_edit_slack`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HierarchyError
+
+WILDCARD = "*"
+
+
+def is_pattern(value: str) -> bool:
+    """True when *value* is an open prefix pattern (ends with ``'*'``)."""
+    return value.endswith(WILDCARD)
+
+
+def pattern_prefix(value: str) -> str:
+    """The concrete prefix of a pattern (identity for concrete strings)."""
+    if is_pattern(value):
+        return value[: -len(WILDCARD)]
+    return value
+
+
+class PrefixHierarchy:
+    """Implicit generalization hierarchy over strings by prefix length.
+
+    Parameters
+    ----------
+    name:
+        Attribute name.
+    max_length:
+        Upper bound on string lengths in the domain. It bounds the
+        wildcard's reach in the slack analysis and the hierarchy's depth.
+    """
+
+    def __init__(self, name: str, max_length: int = 32):
+        if max_length < 1:
+            raise HierarchyError("max_length must be at least 1")
+        self.name = name
+        self.max_length = max_length
+
+    @property
+    def root(self) -> str:
+        """The fully general pattern matching every string."""
+        return WILDCARD
+
+    @property
+    def height(self) -> int:
+        """Depth of the deepest concrete string."""
+        return self.max_length
+
+    def is_node(self, value: str) -> bool:
+        """Every string or prefix pattern within the length bound is a node."""
+        return len(pattern_prefix(value)) <= self.max_length
+
+    def is_leaf(self, value: str) -> bool:
+        """Concrete strings are the leaves."""
+        return not is_pattern(value)
+
+    def depth_of(self, value: str) -> int:
+        """Prefix length; concrete strings sit at ``max_length`` depth.
+
+        Concrete strings are all treated as maximally specific regardless
+        of their own length, so a short name is not considered "more
+        generalized" than a long one.
+        """
+        self._require(value)
+        if self.is_leaf(value):
+            return self.max_length
+        return len(pattern_prefix(value))
+
+    def generalize(self, value: str, depth: int) -> str:
+        """Truncate *value* to a *depth*-character prefix pattern.
+
+        A depth at or beyond the string's length returns the concrete
+        string itself.
+        """
+        if depth < 0:
+            raise HierarchyError(f"negative generalization depth {depth}")
+        self._require(value)
+        concrete = pattern_prefix(value)
+        if depth >= len(concrete) and self.is_leaf(value):
+            return concrete
+        return concrete[:depth] + WILDCARD
+
+    def parent_of(self, value: str) -> str | None:
+        """One character shorter; ``None`` for the root pattern."""
+        self._require(value)
+        if value == self.root:
+            return None
+        prefix = pattern_prefix(value)
+        return prefix[:-1] + WILDCARD if prefix else self.root
+
+    def covers(self, pattern: str, value: str) -> bool:
+        """True when concrete *value* lies in *pattern*'s specialization set."""
+        prefix = pattern_prefix(pattern)
+        if is_pattern(pattern):
+            return value.startswith(prefix) and len(value) <= self.max_length
+        return value == pattern
+
+    def child_for(self, pattern: str, value: str) -> str:
+        """The child of *pattern* on the path towards concrete *value*.
+
+        Children are one character longer; a value exactly equal to the
+        prefix specializes to its concrete form.
+        """
+        if not is_pattern(pattern):
+            raise HierarchyError(f"{pattern!r} is already concrete")
+        prefix = pattern_prefix(pattern)
+        if not self.covers(pattern, value):
+            raise HierarchyError(
+                f"{value!r} is not covered by pattern {pattern!r}"
+            )
+        if value == prefix:
+            return value
+        return value[: len(prefix) + 1] + WILDCARD
+
+    def _require(self, value: str) -> None:
+        if not self.is_node(value):
+            raise HierarchyError(
+                f"{value!r} exceeds max_length={self.max_length} of "
+                f"prefix hierarchy {self.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"PrefixHierarchy({self.name!r}, max_length={self.max_length})"

@@ -1,0 +1,126 @@
+"""JSON (de)serialization for hierarchy catalogs.
+
+Custom value generalization hierarchies are the one input a downstream
+user cannot derive from data alone — the grouping of ``Masters`` under
+``Grad School`` under ``University`` is domain knowledge. This module
+defines a JSON format for a catalog of hierarchies so tools
+(``repro-link --hierarchies catalog.json``) and experiments can share
+them:
+
+.. code-block:: json
+
+    {
+      "education": {
+        "type": "categorical",
+        "tree": {"ANY": {"Secondary": {"Junior Sec.": ["9th", "10th"]}}}
+      },
+      "age": {
+        "type": "interval",
+        "tree": [17, 91, [[17, 49, [[17, 33], [33, 49]]], [49, 91]]]
+      },
+      "surname": {"type": "prefix", "max_length": 16}
+    }
+
+Categorical trees use nested objects with leaf arrays (a node mapping to
+an empty array is itself a leaf); interval trees are ``[lo, hi,
+[children...]]`` triples; prefix hierarchies carry only their maximum
+length. Round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+
+from repro.data.strings import PrefixHierarchy
+from repro.data.vgh import CategoricalHierarchy, Interval, IntervalHierarchy
+from repro.errors import HierarchyError
+
+Hierarchy = CategoricalHierarchy | IntervalHierarchy | PrefixHierarchy
+
+
+def hierarchy_to_spec(hierarchy: Hierarchy) -> dict:
+    """Render one hierarchy as a JSON-serializable spec."""
+    if isinstance(hierarchy, CategoricalHierarchy):
+        return {
+            "type": "categorical",
+            "tree": {hierarchy.root: _categorical_subtree(hierarchy, hierarchy.root)},
+        }
+    if isinstance(hierarchy, IntervalHierarchy):
+        return {
+            "type": "interval",
+            "tree": _interval_subtree(hierarchy, hierarchy.root),
+        }
+    if isinstance(hierarchy, PrefixHierarchy):
+        return {"type": "prefix", "max_length": hierarchy.max_length}
+    raise HierarchyError(f"unknown hierarchy type {type(hierarchy).__name__}")
+
+
+def _categorical_subtree(hierarchy: CategoricalHierarchy, node: str):
+    children = hierarchy.children_of(node)
+    if not children:
+        return []
+    if all(hierarchy.is_leaf(child) for child in children):
+        return list(children)
+    return {
+        child: _categorical_subtree(hierarchy, child) for child in children
+    }
+
+
+def _interval_subtree(hierarchy: IntervalHierarchy, node: Interval):
+    children = hierarchy.children_of(node)
+    spec = [node.lo, node.hi]
+    if children:
+        spec.append([_interval_subtree(hierarchy, child) for child in children])
+    return spec
+
+
+def hierarchy_from_spec(name: str, spec: Mapping) -> Hierarchy:
+    """Build one hierarchy from its JSON spec."""
+    try:
+        kind = spec["type"]
+    except (KeyError, TypeError):
+        raise HierarchyError(f"hierarchy {name!r}: missing 'type'") from None
+    if kind == "categorical":
+        return CategoricalHierarchy(name, spec["tree"])
+    if kind == "interval":
+        return IntervalHierarchy.from_tree(name, spec["tree"])
+    if kind == "prefix":
+        return PrefixHierarchy(name, max_length=int(spec.get("max_length", 32)))
+    raise HierarchyError(
+        f"hierarchy {name!r}: unknown type {kind!r} "
+        "(expected categorical, interval or prefix)"
+    )
+
+
+def catalog_to_json(catalog: Mapping[str, Hierarchy], *, indent: int = 2) -> str:
+    """Serialize a hierarchy catalog to a JSON string."""
+    return json.dumps(
+        {name: hierarchy_to_spec(hierarchy) for name, hierarchy in catalog.items()},
+        indent=indent,
+    )
+
+
+def catalog_from_json(text: str) -> dict[str, Hierarchy]:
+    """Parse a hierarchy catalog from a JSON string."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise HierarchyError(f"invalid hierarchy JSON: {error}") from None
+    if not isinstance(raw, dict):
+        raise HierarchyError("hierarchy JSON must be an object keyed by name")
+    return {
+        name: hierarchy_from_spec(name, spec) for name, spec in raw.items()
+    }
+
+
+def save_catalog(catalog: Mapping[str, Hierarchy], path: str) -> None:
+    """Write a catalog to *path* as JSON."""
+    with open(path, "w") as handle:
+        handle.write(catalog_to_json(catalog))
+
+
+def load_catalog(path: str) -> dict[str, Hierarchy]:
+    """Read a catalog written by :func:`save_catalog`."""
+    with open(path) as handle:
+        return catalog_from_json(handle.read())

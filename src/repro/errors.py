@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. The subclasses map onto the major
+subsystems (data model, hierarchies, anonymization, crypto, protocol).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relation or record does not conform to its declared schema."""
+
+
+class HierarchyError(ReproError):
+    """A value generalization hierarchy is malformed or a lookup failed."""
+
+
+class AnonymizationError(ReproError):
+    """An anonymization algorithm could not satisfy its requirement."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic primitive was misused or failed an internal check."""
+
+
+class ProtocolError(ReproError):
+    """A multi-party protocol was driven out of order or received bad data."""
+
+
+class ConfigurationError(ReproError):
+    """A linkage configuration is inconsistent or out of range."""

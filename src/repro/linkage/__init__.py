@@ -1,0 +1,33 @@
+"""The paper's primary contribution: hybrid private record linkage.
+
+The pipeline (Sections III–V of the paper):
+
+1. Each data holder anonymizes its relation (:mod:`repro.anonymize`) and
+   publishes the generalized view.
+2. The **blocking step** (:mod:`repro.linkage.blocking`) applies the slack
+   decision rule (:mod:`repro.linkage.slack`) to every pair of equivalence
+   classes, labeling pairs match / non-match / unknown.
+3. The **SMC step** (:mod:`repro.linkage.hybrid`) relabels unknown pairs
+   with exact secure comparisons (:mod:`repro.crypto.smc`), prioritized by
+   expected-distance heuristics (:mod:`repro.linkage.heuristics`) and capped
+   by the SMC allowance.
+4. Leftover unknown pairs are labeled by a strategy
+   (:mod:`repro.linkage.strategies`); the default maximize-precision
+   strategy labels them non-match, so precision is always 100%.
+
+:class:`repro.linkage.hybrid.HybridLinkage` orchestrates all of it.
+"""
+
+from repro.linkage.distances import MatchAttribute, MatchRule
+from repro.linkage.slack import Label, slack_decision
+from repro.linkage.hybrid import HybridLinkage, LinkageConfig, LinkageResult
+
+__all__ = [
+    "HybridLinkage",
+    "Label",
+    "LinkageConfig",
+    "LinkageResult",
+    "MatchAttribute",
+    "MatchRule",
+    "slack_decision",
+]

@@ -1,0 +1,272 @@
+"""The hybrid private record linkage orchestrator (the paper's method).
+
+:class:`HybridLinkage` wires the whole pipeline together:
+
+1. run the blocking step over the two anonymized relations;
+2. order the unknown class pairs with the configured selection heuristic;
+3. spend the SMC allowance comparing record pairs inside those class
+   pairs, in order, through the configured :class:`SMCOracle`;
+4. hand whatever the allowance never reached to the leftover strategy.
+
+Record pairs inside one class pair are indistinguishable from the
+anonymized view, so they are consumed in deterministic row-major order;
+when the allowance runs out mid-class-pair, the remainder of that pair
+joins the leftovers.
+
+The result object keeps *verified* matches (blocking-M pairs and SMC hits,
+all true matches by soundness/exactness) separate from *claimed* matches
+(leftover class pairs a strategy labels match without verification) so the
+evaluation in :mod:`repro.linkage.metrics` can price each strategy's
+precision honestly.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.anonymize.base import GeneralizedRelation
+from repro.crypto.smc.oracle import CountingPlaintextOracle, SMCOracle
+from repro.data.schema import Schema
+from repro.errors import ConfigurationError
+from repro.linkage.blocking import BlockingResult, ClassPair, block
+from repro.linkage.distances import MatchRule
+from repro.linkage.heuristics import MinAvgFirst, SelectionHeuristic
+from repro.linkage.strategies import (
+    LeftoverStrategy,
+    MaximizePrecision,
+    SMCObservation,
+)
+
+OracleFactory = Callable[[MatchRule, Schema], SMCOracle]
+
+
+@dataclass
+class LinkageConfig:
+    """Everything the querying party and the holders agree on.
+
+    Parameters
+    ----------
+    rule:
+        The match classifier (distance functions and thresholds).
+    allowance:
+        The SMC allowance as a fraction of |D1 x D2| (the paper's default
+        test cases use 0.015, i.e. 1.5%).
+    heuristic:
+        Selection heuristic for unknown class pairs (Section V-C).
+    strategy:
+        Leftover labeling strategy (Section V-B); the default maximizes
+        precision, as the paper chooses.
+    oracle_factory:
+        Builds the SMC backend; defaults to the counted plaintext oracle
+        (exact answers, real invoices — see DESIGN.md §4).
+    """
+
+    rule: MatchRule
+    allowance: float = 0.015
+    heuristic: SelectionHeuristic = field(default_factory=MinAvgFirst)
+    strategy: LeftoverStrategy = field(default_factory=MaximizePrecision)
+    oracle_factory: OracleFactory = CountingPlaintextOracle
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.allowance <= 1.0:
+            raise ConfigurationError(
+                f"SMC allowance {self.allowance} must be a fraction in [0, 1]"
+            )
+        if (
+            self.strategy.requires_random_selection
+            and self.heuristic.name != "random"
+        ):
+            raise ConfigurationError(
+                f"strategy {self.strategy.name!r} trains on the SMC sample and "
+                "requires the 'random' selection heuristic (paper Section V-B)"
+            )
+
+
+@dataclass
+class LinkageResult:
+    """Outcome of one hybrid linkage run."""
+
+    total_pairs: int
+    blocking: BlockingResult
+    allowance_pairs: int
+    smc_invocations: int
+    smc_matched_pairs: list[tuple[int, int]]
+    observations: list[SMCObservation]
+    leftovers: list[ClassPair]
+    claimed: list[ClassPair]
+    attribute_comparisons: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def blocked_match_pairs(self) -> int:
+        """Record pairs matched by blocking (sound, hence true matches)."""
+        return self.blocking.matched_pairs
+
+    @property
+    def smc_match_count(self) -> int:
+        """Matches the SMC step verified."""
+        return len(self.smc_matched_pairs)
+
+    @property
+    def verified_match_pairs(self) -> int:
+        """All matches known to be true: blocking-M plus SMC hits."""
+        return self.blocked_match_pairs + self.smc_match_count
+
+    def _observation_index(self) -> dict[int, SMCObservation]:
+        if not hasattr(self, "_observations_by_id"):
+            self._observations_by_id = {
+                id(observation.pair): observation
+                for observation in self.observations
+            }
+        return self._observations_by_id
+
+    def compared_in(self, pair: ClassPair) -> int:
+        """Record pairs of *pair* the SMC step actually compared."""
+        observation = self._observation_index().get(id(pair))
+        return observation.compared if observation else 0
+
+    def observed_matches_in(self, pair: ClassPair) -> int:
+        """Matches the SMC step found inside *pair*."""
+        observation = self._observation_index().get(id(pair))
+        return observation.matches if observation else 0
+
+    @property
+    def leftover_pairs(self) -> int:
+        """Record pairs never compared nor decided by blocking."""
+        return sum(pair.size - self.compared_in(pair) for pair in self.leftovers)
+
+    @property
+    def claimed_pairs(self) -> int:
+        """Unverified record pairs the strategy claims as matches."""
+        return sum(pair.size - self.compared_in(pair) for pair in self.claimed)
+
+    @property
+    def reported_match_pairs(self) -> int:
+        """What the querying party receives: verified plus claimed."""
+        return self.verified_match_pairs + self.claimed_pairs
+
+    def iter_verified_matches(self) -> Iterator[tuple[int, int]]:
+        """Yield verified matching (left_index, right_index) pairs."""
+        for pair in self.blocking.matched:
+            for left_index in pair.left.indices:
+                for right_index in pair.right.indices:
+                    yield left_index, right_index
+        yield from self.smc_matched_pairs
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"total pairs          : {self.total_pairs}",
+            f"blocking efficiency  : {self.blocking.blocking_efficiency:.4%}",
+            f"  matched by blocking: {self.blocked_match_pairs}",
+            f"  mismatched         : {self.blocking.nonmatch_pairs}",
+            f"  unknown            : {self.blocking.unknown_pairs}",
+            f"SMC allowance (pairs): {self.allowance_pairs}",
+            f"SMC invocations      : {self.smc_invocations}",
+            f"  matches found      : {self.smc_match_count}",
+            f"leftover pairs       : {self.leftover_pairs}",
+            f"claimed (unverified) : {self.claimed_pairs}",
+            f"reported matches     : {self.reported_match_pairs}",
+        ]
+        return "\n".join(lines)
+
+
+class HybridLinkage:
+    """Run the paper's hybrid method end to end."""
+
+    def __init__(self, config: LinkageConfig):
+        self.config = config
+
+    def run(
+        self, left: GeneralizedRelation, right: GeneralizedRelation
+    ) -> LinkageResult:
+        """Link two anonymized relations.
+
+        *left* and *right* carry their sources for the SMC simulation (each
+        holder answers protocol queries about its own records); only the
+        generalized views influence blocking and selection.
+        """
+        if left.source.schema != right.source.schema:
+            raise ConfigurationError("input relations must share a schema")
+        blocking = block(self.config.rule, left, right)
+        return self.run_from_blocking(blocking, left, right)
+
+    def run_from_blocking(
+        self,
+        blocking: BlockingResult,
+        left: GeneralizedRelation,
+        right: GeneralizedRelation,
+    ) -> LinkageResult:
+        """Run the SMC and leftover steps on a precomputed blocking result.
+
+        Parameter sweeps reuse one blocking result across heuristics and
+        allowances (blocking does not depend on either), which is also how
+        the paper structures its experiments.
+        """
+        started = time.perf_counter()
+        config = self.config
+        allowance_pairs = math.floor(config.allowance * blocking.total_pairs)
+        ordered = config.heuristic.order(
+            blocking.unknown, config.rule, left, right
+        )
+        oracle = config.oracle_factory(config.rule, left.source.schema)
+        budget = allowance_pairs
+        observations: list[SMCObservation] = []
+        smc_matched: list[tuple[int, int]] = []
+        leftovers: list[ClassPair] = []
+        for position, pair in enumerate(ordered):
+            if budget <= 0:
+                leftovers.extend(ordered[position:])
+                break
+            take = min(budget, pair.size)
+            matches = compare_class_pair(
+                oracle, left, right, pair, take, smc_matched
+            )
+            budget -= take
+            observations.append(SMCObservation(pair, take, matches))
+            if take < pair.size:
+                leftovers.append(pair)
+        claimed = config.strategy.claim_matches(
+            leftovers, observations, config.rule, left, right
+        )
+        return LinkageResult(
+            total_pairs=blocking.total_pairs,
+            blocking=blocking,
+            allowance_pairs=allowance_pairs,
+            smc_invocations=oracle.invocations,
+            smc_matched_pairs=smc_matched,
+            observations=observations,
+            leftovers=leftovers,
+            claimed=list(claimed),
+            attribute_comparisons=oracle.attribute_comparisons,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+
+def compare_class_pair(
+    oracle: SMCOracle,
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    pair: ClassPair,
+    take: int,
+    smc_matched: list[tuple[int, int]],
+) -> int:
+    """Compare the first *take* record pairs of *pair* in row-major order.
+
+    Appends matching index pairs to *smc_matched* and returns the match
+    count. Record pairs inside a class pair are anonymization-
+    indistinguishable, so row-major order is as good as any and keeps runs
+    reproducible. The heavy lifting is delegated to the oracle's
+    ``compare_block`` (vectorized on the counting backend).
+    """
+    left_records = [left.source[index] for index in pair.left.indices]
+    right_records = [right.source[index] for index in pair.right.indices]
+    matched_offsets = oracle.compare_block(left_records, right_records, take)
+    for left_offset, right_offset in matched_offsets:
+        smc_matched.append(
+            (pair.left.indices[left_offset], pair.right.indices[right_offset])
+        )
+    return len(matched_offsets)

@@ -1,0 +1,176 @@
+"""Private schema matching (the paper's assumed preprocessing step).
+
+Section II: "Let us also assume that these relations have the same schema
+... If not, schemas of R and S can be matched using private schema
+matching techniques (e.g. the method described by Scannapieco et al. in
+[5])." This module supplies that step, so the pipeline's assumption is
+dischargeable inside the library.
+
+The protocol is a simplified rendition of the private matching idea:
+each party derives a *signature set* per attribute — the attribute's
+kind plus normalized name tokens (lowercased, split on punctuation, with
+a tiny synonym table folding common variants like ``dob`` /
+``birth_date``) — and the parties run the commutative-encryption private
+set intersection of :mod:`repro.crypto.commutative` over the signature
+sets. Attribute pairs are scored by the (privately computed) Jaccard
+overlap of their signatures and matched greedily; each party learns only
+the final correspondence and the overlap scores that produced it, not the
+other side's unmatched attribute names.
+
+This is deliberately simpler than [5] (which embeds attribute *values*
+into a metric space via a semi-trusted third party); name/type matching
+is the right tool when, as in the paper's setup, the parties share a
+domain vocabulary and the sensitive part is the data, not the column
+headers. The structure — signatures, private intersection, greedy
+one-to-one assignment — is the same.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro._rng import make_random
+from repro.crypto.commutative import CommutativeKey, generate_safe_prime
+from repro.data.schema import Schema
+from repro.errors import ProtocolError
+
+#: Common header variants folded onto one canonical token.
+_SYNONYMS = {
+    "dob": "birth",
+    "birthdate": "birth",
+    "birth_date": "birth",
+    "date_of_birth": "birth",
+    "yob": "birth",
+    "surname": "lastname",
+    "last_name": "lastname",
+    "family_name": "lastname",
+    "first_name": "firstname",
+    "given_name": "firstname",
+    "forename": "firstname",
+    "zip": "postcode",
+    "zipcode": "postcode",
+    "postal_code": "postcode",
+    "sex": "gender",
+    "phone_number": "phone",
+    "telephone": "phone",
+}
+
+
+def attribute_signature(name: str, kind: str) -> frozenset[str]:
+    """The signature set of one attribute: kind plus name tokens."""
+    tokens = [
+        token
+        for token in re.split(r"[^a-z0-9]+", name.lower())
+        if token
+    ]
+    folded = {_SYNONYMS.get(token, token) for token in tokens}
+    # Compound synonyms ("date_of_birth") fold on the full name too.
+    full = name.lower()
+    if full in _SYNONYMS:
+        folded.add(_SYNONYMS[full])
+    folded.add(f"kind:{kind}")
+    return frozenset(folded)
+
+
+def schema_signatures(schema: Schema) -> list[frozenset[str]]:
+    """Signatures for every attribute of *schema*, in order."""
+    return [
+        attribute_signature(attribute.name, attribute.kind.value)
+        for attribute in schema
+    ]
+
+
+@dataclass(frozen=True)
+class SchemaMatch:
+    """One matched attribute pair with its (privately computed) score."""
+
+    left_name: str
+    right_name: str
+    score: float
+
+
+def match_schemas(
+    left: Schema,
+    right: Schema,
+    *,
+    threshold: float = 0.34,
+    prime_bits: int = 96,
+    rng: int | random.Random | None = None,
+) -> list[SchemaMatch]:
+    """Privately match attributes of two schemas.
+
+    Each party encrypts its signature tokens under its own commutative
+    key; after the exchange-and-re-encrypt round, token equality is
+    decidable on the doubly-encrypted values, so the Jaccard overlap of
+    any signature pair can be computed without revealing the tokens
+    themselves. Pairs scoring at least *threshold* are assigned greedily,
+    best score first, one-to-one.
+    """
+    rng = make_random(rng)
+    prime = generate_safe_prime(prime_bits, rng)
+    key_left = CommutativeKey.generate(prime, rng)
+    key_right = CommutativeKey.generate(prime, rng)
+    left_signatures = schema_signatures(left)
+    right_signatures = schema_signatures(right)
+    # Round 1: each side encrypts its own tokens. Round 2: each side
+    # encrypts the other's ciphertexts; commutativity makes the doubly
+    # encrypted values comparable.
+    left_encrypted = [
+        {key_right.encrypt(key_left.hash_encrypt(token)) for token in signature}
+        for signature in left_signatures
+    ]
+    right_encrypted = [
+        {key_left.encrypt(key_right.hash_encrypt(token)) for token in signature}
+        for signature in right_signatures
+    ]
+    scored = []
+    for left_index, left_tokens in enumerate(left_encrypted):
+        for right_index, right_tokens in enumerate(right_encrypted):
+            union = len(left_tokens | right_tokens)
+            overlap = len(left_tokens & right_tokens)
+            score = overlap / union if union else 0.0
+            if score >= threshold:
+                scored.append((score, left_index, right_index))
+    scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+    matched_left: set[int] = set()
+    matched_right: set[int] = set()
+    matches = []
+    for score, left_index, right_index in scored:
+        if left_index in matched_left or right_index in matched_right:
+            continue
+        matched_left.add(left_index)
+        matched_right.add(right_index)
+        matches.append(
+            SchemaMatch(
+                left_name=left.names[left_index],
+                right_name=right.names[right_index],
+                score=round(score, 4),
+            )
+        )
+    return matches
+
+
+def align_right_relation(matches: Sequence[SchemaMatch], right_relation):
+    """Project and rename the right relation onto the matched schema.
+
+    Returns a relation whose columns are the matched right attributes,
+    renamed to the left side's attribute names and reordered to the match
+    order — after which the two inputs satisfy the paper's same-schema
+    assumption.
+    """
+    from repro.data.schema import Attribute, Relation
+
+    if not matches:
+        raise ProtocolError("no schema matches to align on")
+    projected = right_relation.project([match.right_name for match in matches])
+    renamed_attributes = []
+    for match, attribute in zip(matches, projected.schema):
+        renamed_attributes.append(
+            Attribute(match.left_name, attribute.kind)
+        )
+    return Relation(
+        Schema(renamed_attributes), projected.records, validate=False
+    )

@@ -1,0 +1,305 @@
+"""Explicit three-party protocol simulation.
+
+The paper's cast (Section I): "We assume three participants in our method.
+These are two data holders, with the data sets to be linked, and the
+querying party, who provides the classifier that determines matching
+record pairs."
+
+The library layers below (:mod:`repro.linkage.hybrid` and friends) pass
+:class:`~repro.anonymize.base.GeneralizedRelation` objects around, which
+carry a back-reference to the raw source relation for the SMC simulation.
+That is convenient for experiments but blurs the party boundary. This
+module makes the boundary explicit:
+
+- :class:`DataHolder` owns a private relation and *publishes* only a
+  :class:`PublishedView` — generalization sequences and class sizes, the
+  exact artifact the paper assumes is public;
+- :class:`QueryingParty` sees two published views and a
+  :class:`SMCBridge`; it drives blocking, selection and the SMC step
+  without ever holding a raw record (record pairs are addressed by
+  ``(class_id, offset)`` handles);
+- :class:`SMCBridge` stands for the cryptographic protocol execution: it
+  resolves handles against each holder privately and returns only the
+  match bit to the querying party (with the real Paillier backend, not
+  even the bridge sees plaintext in a deployment — here it is the
+  simulation point, as in DESIGN.md §4 substitution 3).
+
+The result identifies matches by handles; each holder resolves its own
+side back to record indices locally (:meth:`DataHolder.resolve`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.anonymize.base import Anonymizer
+from repro.crypto.smc.oracle import CountingPlaintextOracle, SMCOracle
+from repro.data.schema import Relation
+from repro.errors import ConfigurationError, ProtocolError
+from repro.linkage.distances import MatchRule
+from repro.linkage.expected import expected_distance_vector
+from repro.linkage.heuristics import MinAvgFirst, SelectionHeuristic
+from repro.linkage.slack import Label, slack_decision
+
+#: A record handle the querying party may hold: (class_id, offset).
+Handle = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PublishedClass:
+    """One equivalence class as the outside world sees it."""
+
+    class_id: int
+    sequence: tuple
+    size: int
+
+
+@dataclass(frozen=True)
+class PublishedView:
+    """A holder's public artifact: anonymized classes, nothing else."""
+
+    holder: str
+    qids: tuple[str, ...]
+    classes: tuple[PublishedClass, ...]
+
+    @property
+    def record_count(self) -> int:
+        """Total records behind the view."""
+        return sum(published.size for published in self.classes)
+
+
+class DataHolder:
+    """A party owning a private relation.
+
+    The relation is intentionally name-mangled; everything other parties
+    may learn flows through :meth:`publish` and the SMC bridge.
+    """
+
+    def __init__(self, name: str, relation: Relation):
+        self.name = name
+        self.__relation = relation
+        self.__handle_map: dict[Handle, int] = {}
+        self.__published: PublishedView | None = None
+
+    def publish(
+        self,
+        anonymizer: Anonymizer,
+        qids: Sequence[str],
+        k: int,
+    ) -> PublishedView:
+        """Anonymize the private relation and return the public view.
+
+        The holder chooses its own anonymizer, QID set and k — "participants
+        can choose different anonymization methods, anonymity levels,
+        quasi-identifier attribute sets" (Section I).
+        """
+        generalized = anonymizer.anonymize(self.__relation, qids, k)
+        classes = []
+        self.__handle_map.clear()
+        for class_id, eq_class in enumerate(generalized.classes):
+            classes.append(
+                PublishedClass(class_id, eq_class.sequence, eq_class.size)
+            )
+            for offset, record_index in enumerate(eq_class.indices):
+                self.__handle_map[(class_id, offset)] = record_index
+        self.__published = PublishedView(
+            holder=self.name, qids=tuple(qids), classes=tuple(classes)
+        )
+        return self.__published
+
+    @property
+    def schema(self):
+        """The relation's schema (assumed public, as in the paper)."""
+        return self.__relation.schema
+
+    def _record_for(self, handle: Handle):
+        """Resolve a handle privately (only the SMC bridge may call this)."""
+        try:
+            return self.__relation[self.__handle_map[handle]]
+        except KeyError:
+            raise ProtocolError(
+                f"holder {self.name!r} has no record for handle {handle}"
+            ) from None
+
+    def resolve(self, handles: Sequence[Handle]) -> list[int]:
+        """Map this holder's handles back to its own record indices."""
+        return [self.__handle_map[handle] for handle in handles]
+
+
+class SMCBridge:
+    """The protocol-execution stand-in between the three parties.
+
+    ``compare`` resolves one handle against each holder and feeds the
+    records to the SMC oracle; only the boolean verdict leaves the bridge.
+    """
+
+    def __init__(
+        self,
+        left: DataHolder,
+        right: DataHolder,
+        rule: MatchRule,
+        oracle_factory=CountingPlaintextOracle,
+    ):
+        if left.schema != right.schema:
+            raise ConfigurationError("holders must share a schema")
+        self._left = left
+        self._right = right
+        self.oracle: SMCOracle = oracle_factory(rule, left.schema)
+
+    def compare(self, left_handle: Handle, right_handle: Handle) -> bool:
+        """Run one secure comparison; the caller learns one bit."""
+        return self.oracle.compare(
+            self._left._record_for(left_handle),
+            self._right._record_for(right_handle),
+        )
+
+    @property
+    def invocations(self) -> int:
+        """Protocol invocations so far (the paper's cost unit)."""
+        return self.oracle.invocations
+
+
+@dataclass
+class ProtocolOutcome:
+    """What the querying party ends up with."""
+
+    total_pairs: int
+    blocked_match_pairs: int
+    blocked_nonmatch_pairs: int
+    unknown_pairs: int
+    smc_invocations: int
+    matched_handles: list[tuple[Handle, Handle]]
+    matched_class_pairs: list[tuple[int, int]]
+    leftover_pairs: int = 0
+    claimed_class_pairs: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def blocking_efficiency(self) -> float:
+        """Fraction of pairs the blocking step decided."""
+        if self.total_pairs == 0:
+            return 1.0
+        decided = self.blocked_match_pairs + self.blocked_nonmatch_pairs
+        return decided / self.total_pairs
+
+    @property
+    def reported_match_pairs(self) -> int:
+        """Verified pairs: blocked-match cross products plus SMC hits."""
+        return self.blocked_match_pairs + len(self.matched_handles)
+
+
+class QueryingParty:
+    """The party that provides the classifier and receives the join.
+
+    It operates exclusively on published views and the SMC bridge; there
+    is no code path from here to a raw record.
+    """
+
+    def __init__(
+        self,
+        rule: MatchRule,
+        *,
+        allowance: float = 0.015,
+        heuristic: SelectionHeuristic | None = None,
+        claim_leftovers: bool = False,
+    ):
+        if not 0.0 <= allowance <= 1.0:
+            raise ConfigurationError("allowance must be a fraction in [0, 1]")
+        self.rule = rule
+        self.allowance = allowance
+        self.heuristic = heuristic or MinAvgFirst()
+        #: Strategy 2 (maximize recall) when true; strategy 1 otherwise.
+        self.claim_leftovers = claim_leftovers
+
+    def link(
+        self,
+        left_view: PublishedView,
+        right_view: PublishedView,
+        bridge: SMCBridge,
+    ) -> ProtocolOutcome:
+        """Run blocking + budgeted SMC over two published views."""
+        left_positions = self._positions(left_view)
+        right_positions = self._positions(right_view)
+        total_pairs = left_view.record_count * right_view.record_count
+        outcome = ProtocolOutcome(
+            total_pairs=total_pairs,
+            blocked_match_pairs=0,
+            blocked_nonmatch_pairs=0,
+            unknown_pairs=0,
+            smc_invocations=0,
+            matched_handles=[],
+            matched_class_pairs=[],
+        )
+        unknown: list[tuple[float, int, tuple[PublishedClass, PublishedClass]]] = []
+        for left_class in left_view.classes:
+            left_sequence = [
+                left_class.sequence[position] for position in left_positions
+            ]
+            for right_class in right_view.classes:
+                right_sequence = [
+                    right_class.sequence[position]
+                    for position in right_positions
+                ]
+                label = slack_decision(self.rule, left_sequence, right_sequence)
+                pair_count = left_class.size * right_class.size
+                if label is Label.MATCH:
+                    outcome.blocked_match_pairs += pair_count
+                    outcome.matched_class_pairs.append(
+                        (left_class.class_id, right_class.class_id)
+                    )
+                elif label is Label.NONMATCH:
+                    outcome.blocked_nonmatch_pairs += pair_count
+                else:
+                    score = self.heuristic.score(
+                        expected_distance_vector(
+                            self.rule.attributes, left_sequence, right_sequence
+                        )
+                    )
+                    unknown.append((score, len(unknown), (left_class, right_class)))
+        outcome.unknown_pairs = sum(
+            pair[2][0].size * pair[2][1].size for pair in unknown
+        )
+        unknown.sort(key=lambda item: item[:2])
+        budget = math.floor(self.allowance * total_pairs)
+        for _, __, (left_class, right_class) in unknown:
+            if budget <= 0:
+                remainder = left_class.size * right_class.size
+                outcome.leftover_pairs += remainder
+                if self.claim_leftovers:
+                    outcome.claimed_class_pairs.append(
+                        (left_class.class_id, right_class.class_id)
+                    )
+                continue
+            for left_offset in range(left_class.size):
+                if budget <= 0:
+                    outcome.leftover_pairs += (
+                        left_class.size - left_offset
+                    ) * right_class.size
+                    break
+                for right_offset in range(right_class.size):
+                    if budget <= 0:
+                        outcome.leftover_pairs += (
+                            right_class.size - right_offset
+                        )
+                        break
+                    budget -= 1
+                    left_handle = (left_class.class_id, left_offset)
+                    right_handle = (right_class.class_id, right_offset)
+                    if bridge.compare(left_handle, right_handle):
+                        outcome.matched_handles.append(
+                            (left_handle, right_handle)
+                        )
+        outcome.smc_invocations = bridge.invocations
+        return outcome
+
+    def _positions(self, view: PublishedView) -> list[int]:
+        positions = []
+        for name in self.rule.names:
+            if name not in view.qids:
+                raise ConfigurationError(
+                    f"rule attribute {name!r} is not in {view.holder!r}'s "
+                    f"published QIDs {view.qids}"
+                )
+            positions.append(view.qids.index(name))
+        return positions

@@ -1,0 +1,5 @@
+"""End-user command-line tools built on the library.
+
+- :mod:`repro.tools.link_cli` — ``repro-link``: hybrid private record
+  linkage over two CSV files, with automatic hierarchy construction.
+"""

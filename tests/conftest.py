@@ -1,0 +1,125 @@
+"""Shared fixtures: the paper's toy example, Adult samples, match rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anonymize.base import EquivalenceClass, GeneralizedRelation
+from repro.data.adult import generate_adult
+from repro.data.hierarchies import (
+    ADULT_QID_ORDER,
+    adult_hierarchies,
+    toy_education_vgh,
+    toy_work_hrs_vgh,
+)
+from repro.data.partition import build_linkage_pair
+from repro.data.schema import Attribute, Relation, Schema
+from repro.data.vgh import Interval
+from repro.linkage.distances import MatchAttribute, MatchRule
+
+
+@pytest.fixture(scope="session")
+def toy_schema():
+    return Schema(
+        [Attribute.categorical("education"), Attribute.continuous("work_hrs")]
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_hierarchies():
+    return {"education": toy_education_vgh(), "work_hrs": toy_work_hrs_vgh()}
+
+
+@pytest.fixture(scope="session")
+def toy_relations(toy_schema):
+    """Tables I and II of the paper: R and S."""
+    r = Relation(
+        toy_schema,
+        [
+            ("Masters", 35),
+            ("Masters", 36),
+            ("Masters", 36),
+            ("9th", 28),
+            ("10th", 22),
+            ("12th", 33),
+        ],
+    )
+    s = Relation(
+        toy_schema,
+        [
+            ("Masters", 36),
+            ("Masters", 35),
+            ("Bachelors", 27),
+            ("11th", 33),
+            ("11th", 22),
+            ("12th", 27),
+        ],
+    )
+    return r, s
+
+
+@pytest.fixture(scope="session")
+def toy_generalized(toy_relations, toy_hierarchies):
+    """R' (3-anonymous) and S' (2-anonymous) exactly as printed in the paper."""
+    r, s = toy_relations
+    qids = ("education", "work_hrs")
+    r_prime = GeneralizedRelation(
+        r,
+        qids,
+        toy_hierarchies,
+        [
+            EquivalenceClass(("Masters", Interval(35, 37)), (0, 1, 2)),
+            EquivalenceClass(("Secondary", Interval(1, 35)), (3, 4, 5)),
+        ],
+        k=3,
+    )
+    s_prime = GeneralizedRelation(
+        s,
+        qids,
+        toy_hierarchies,
+        [
+            EquivalenceClass(("Masters", Interval(35, 37)), (0, 1)),
+            EquivalenceClass(("ANY", Interval(1, 35)), (2, 3)),
+            EquivalenceClass(("Senior Sec.", Interval(1, 35)), (4, 5)),
+        ],
+        k=2,
+    )
+    return r_prime, s_prime
+
+
+@pytest.fixture(scope="session")
+def toy_rule(toy_hierarchies):
+    """The paper's toy classifier: theta_1 = 0.5 (Hamming), theta_2 = 0.2."""
+    return MatchRule(
+        [
+            MatchAttribute("education", toy_hierarchies["education"], 0.5),
+            MatchAttribute("work_hrs", toy_hierarchies["work_hrs"], 0.2),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def adult_hierarchy_catalog():
+    return adult_hierarchies()
+
+
+@pytest.fixture(scope="session")
+def adult_small():
+    """A small synthetic Adult relation shared across tests."""
+    return generate_adult(900, seed=11)
+
+
+@pytest.fixture(scope="session")
+def adult_pair(adult_small):
+    """A D1/D2 pair built from the small Adult relation."""
+    return build_linkage_pair(adult_small, seed=12)
+
+
+@pytest.fixture(scope="session")
+def adult_rule(adult_hierarchy_catalog):
+    """The paper's default rule: theta = 0.05 over the top-5 QIDs."""
+    qids = ADULT_QID_ORDER[:5]
+    return MatchRule(
+        MatchAttribute(name, adult_hierarchy_catalog[name], 0.05)
+        for name in qids
+    )

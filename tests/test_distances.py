@@ -1,0 +1,151 @@
+"""Tests for distance functions and the decision rule dr."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.hierarchies import toy_education_vgh, toy_work_hrs_vgh
+from repro.errors import ConfigurationError
+from repro.linkage.distances import (
+    MatchAttribute,
+    MatchRule,
+    edit_distance,
+    euclidean_distance,
+    hamming_distance,
+)
+
+
+class TestPrimitiveDistances:
+    def test_hamming(self):
+        assert hamming_distance("a", "a") == 0
+        assert hamming_distance("a", "b") == 1
+
+    def test_euclidean(self):
+        assert euclidean_distance(35, 36) == 1
+        assert euclidean_distance(36, 35) == 1
+        assert euclidean_distance(2.5, 2.5) == 0
+
+    def test_edit_distance_known_values(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("same", "same") == 0
+        assert edit_distance("flaw", "lawn") == 2
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_edit_distance_is_a_metric(self, left, right):
+        distance = edit_distance(left, right)
+        assert distance == edit_distance(right, left)
+        assert (distance == 0) == (left == right)
+        assert distance <= max(len(left), len(right))
+        assert distance >= abs(len(left) - len(right))
+
+    @given(st.text(max_size=8), st.text(max_size=8), st.text(max_size=8))
+    def test_edit_distance_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestMatchAttribute:
+    def test_continuous_effective_threshold_uses_norm_factor(self):
+        # The paper's example: theta=0.2 over Work-Hrs [1,99) -> 19.6.
+        attribute = MatchAttribute("work_hrs", toy_work_hrs_vgh(), 0.2)
+        assert attribute.effective_threshold == pytest.approx(19.6)
+
+    def test_categorical_effective_threshold_is_theta(self):
+        attribute = MatchAttribute("education", toy_education_vgh(), 0.5)
+        assert attribute.effective_threshold == 0.5
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MatchAttribute("education", toy_education_vgh(), -0.1)
+
+    def test_within_threshold(self):
+        attribute = MatchAttribute("work_hrs", toy_work_hrs_vgh(), 0.2)
+        assert attribute.within_threshold(35, 54.6)
+        assert not attribute.within_threshold(35, 54.7)
+
+    def test_categorical_loose_threshold_never_constrains(self):
+        attribute = MatchAttribute("education", toy_education_vgh(), 1.0)
+        assert attribute.within_threshold("9th", "Masters")
+
+
+class TestMatchRule:
+    @pytest.fixture
+    def rule(self):
+        return MatchRule(
+            [
+                MatchAttribute("education", toy_education_vgh(), 0.5),
+                MatchAttribute("work_hrs", toy_work_hrs_vgh(), 0.2),
+            ]
+        )
+
+    def test_paper_example_pair_matches(self, rule):
+        # r1 = (Masters, 35), s1 = (Masters, 36): match.
+        assert rule.matches_values(("Masters", 35), ("Masters", 36))
+
+    def test_paper_example_pair_mismatches_on_education(self, rule):
+        # (Masters, 35) vs (11th, 32): Hamming 1 > 0.5.
+        assert not rule.matches_values(("Masters", 35), ("11th", 32))
+
+    def test_pair_mismatches_on_distance(self, rule):
+        assert not rule.matches_values(("Masters", 35), ("Masters", 90))
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MatchRule([])
+
+    def test_duplicate_attribute_rejected(self):
+        vgh = toy_education_vgh()
+        with pytest.raises(ConfigurationError):
+            MatchRule(
+                [MatchAttribute("x", vgh, 0.5), MatchAttribute("x", vgh, 0.1)]
+            )
+
+    def test_restrict(self, rule):
+        restricted = rule.restrict(["education"])
+        assert restricted.names == ("education",)
+
+    def test_with_thresholds(self, rule):
+        rethresholded = rule.with_thresholds(0.1)
+        assert all(
+            attribute.threshold == 0.1 for attribute in rethresholded
+        )
+        # Hierarchies are preserved.
+        assert rethresholded.attributes[1].hierarchy.domain_range == 98
+
+
+class TestBoundMatchRule:
+    def test_bound_matches_agrees_with_values(self, toy_schema, toy_rule):
+        bound = toy_rule.bind(toy_schema)
+        left = ("Masters", 35)
+        right = ("Masters", 36)
+        assert bound.matches(left, right) == toy_rule.matches_values(left, right)
+
+    def test_bound_respects_positions(self, toy_rule):
+        from repro.data.schema import Attribute, Schema
+
+        # Same attributes, different column order.
+        reordered = Schema(
+            [Attribute.continuous("work_hrs"), Attribute.categorical("education")]
+        )
+        bound = toy_rule.bind(reordered)
+        assert bound.matches((35, "Masters"), (36, "Masters"))
+        assert not bound.matches((35, "Masters"), (36, "9th"))
+
+    def test_distances(self, toy_schema, toy_rule):
+        bound = toy_rule.bind(toy_schema)
+        distances = bound.distances(("Masters", 35), ("9th", 30))
+        assert distances == (1.0, 5.0)
+
+    def test_project(self, toy_schema, toy_rule):
+        bound = toy_rule.bind(toy_schema)
+        assert bound.project(("Masters", 35)) == ("Masters", 35)
+
+    def test_loose_categorical_threshold_in_bound_rule(self, toy_schema):
+        rule = MatchRule(
+            [
+                MatchAttribute("education", toy_education_vgh(), 1.0),
+                MatchAttribute("work_hrs", toy_work_hrs_vgh(), 0.2),
+            ]
+        )
+        bound = rule.bind(toy_schema)
+        assert bound.matches(("Masters", 35), ("9th", 36))

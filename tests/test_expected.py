@@ -1,0 +1,145 @@
+"""Tests for expected distances (Equations 1-8), incl. Monte Carlo checks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.hierarchies import toy_education_vgh, toy_work_hrs_vgh
+from repro.data.vgh import Interval
+from repro.linkage.distances import MatchAttribute
+from repro.linkage.expected import (
+    categorical_expected_distance,
+    continuous_expected_square_distance,
+    expected_distance_vector,
+    normalized_expected_distance,
+)
+
+
+@pytest.fixture(scope="module")
+def education():
+    return toy_education_vgh()
+
+
+class TestCategoricalExpected:
+    def test_equation_5_formula(self, education):
+        # V = {11th, 12th}, W = {11th, 12th}: 1 - 2/(2*2) = 0.5.
+        value = categorical_expected_distance(
+            education, "Senior Sec.", "Senior Sec."
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_disjoint_sets_give_one(self, education):
+        assert categorical_expected_distance(
+            education, "Masters", "Senior Sec."
+        ) == 1.0
+
+    def test_equal_singletons_give_zero(self, education):
+        assert categorical_expected_distance(education, "9th", "9th") == 0.0
+
+    def test_root_vs_leaf(self, education):
+        # |V|=7 leaves, W={Masters}, overlap 1: 1 - 1/7.
+        value = categorical_expected_distance(education, "ANY", "Masters")
+        assert value == pytest.approx(1 - 1 / 7)
+
+    def test_matches_monte_carlo(self, education):
+        rng = random.Random(17)
+        for left, right in [
+            ("ANY", "Senior Sec."), ("Secondary", "University"),
+            ("Grad School", "ANY"),
+        ]:
+            left_set = sorted(education.leaf_set(left))
+            right_set = sorted(education.leaf_set(right))
+            samples = 40_000
+            hits = sum(
+                rng.choice(left_set) != rng.choice(right_set)
+                for _ in range(samples)
+            )
+            estimate = hits / samples
+            exact = categorical_expected_distance(education, left, right)
+            assert estimate == pytest.approx(exact, abs=0.01)
+
+
+class TestContinuousExpected:
+    def test_equation_8_known_value(self):
+        # Two unit intervals [0,1] apart by 0: E[(V-W)^2] = 1/6 for iid U[0,1].
+        value = continuous_expected_square_distance(Interval(0, 1), Interval(0, 1))
+        assert value == pytest.approx(1 / 6)
+
+    def test_point_intervals_collapse_to_square(self):
+        value = continuous_expected_square_distance(
+            Interval.point(3), Interval.point(7)
+        )
+        assert value == pytest.approx(16)
+
+    def test_point_against_interval(self):
+        # E[(a - W)^2] for W ~ U[0, 2], a = 0: E[W^2] = 4/3.
+        value = continuous_expected_square_distance(
+            Interval.point(0), Interval(0, 2)
+        )
+        assert value == pytest.approx(4 / 3)
+
+    def test_never_negative_on_identical_intervals(self):
+        assert continuous_expected_square_distance(
+            Interval(5, 5.0000001), Interval(5, 5.0000001)
+        ) >= 0
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(0, 60), st.integers(1, 30),
+        st.integers(0, 60), st.integers(1, 30),
+    )
+    def test_matches_monte_carlo(self, a1, w1, a2, w2):
+        left = Interval(a1, a1 + w1)
+        right = Interval(a2, a2 + w2)
+        exact = continuous_expected_square_distance(left, right)
+        rng = random.Random(a1 * 1000 + a2)
+        samples = 20_000
+        total = 0.0
+        for _ in range(samples):
+            v = rng.uniform(left.lo, left.hi)
+            w = rng.uniform(right.lo, right.hi)
+            total += (v - w) ** 2
+        estimate = total / samples
+        # Standard error scales with the magnitude of the distances.
+        tolerance = max(0.05 * exact, 0.5)
+        assert estimate == pytest.approx(exact, abs=tolerance)
+
+
+class TestNormalizedExpected:
+    def test_continuous_normalization(self):
+        work_hrs = toy_work_hrs_vgh()
+        attribute = MatchAttribute("work_hrs", work_hrs, 0.2)
+        score = normalized_expected_distance(
+            attribute, Interval(1, 35), Interval(37, 99)
+        )
+        assert 0.0 <= score <= 1.0
+
+    def test_categorical_passthrough(self, education):
+        attribute = MatchAttribute("education", education, 0.5)
+        assert normalized_expected_distance(attribute, "9th", "9th") == 0.0
+        assert normalized_expected_distance(
+            attribute, "Masters", "Senior Sec."
+        ) == 1.0
+
+    def test_vector(self, education):
+        work_hrs = toy_work_hrs_vgh()
+        attributes = (
+            MatchAttribute("education", education, 0.5),
+            MatchAttribute("work_hrs", work_hrs, 0.2),
+        )
+        vector = expected_distance_vector(
+            attributes,
+            ("Masters", Interval(35, 37)),
+            ("Masters", Interval(35, 37)),
+        )
+        assert len(vector) == 2
+        assert vector[0] == 0.0
+        assert vector[1] > 0.0
+
+    def test_identical_points_score_zero(self):
+        work_hrs = toy_work_hrs_vgh()
+        attribute = MatchAttribute("work_hrs", work_hrs, 0.2)
+        assert normalized_expected_distance(
+            attribute, Interval.point(40), Interval.point(40)
+        ) == 0.0

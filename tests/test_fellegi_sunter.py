@@ -1,0 +1,155 @@
+"""Tests for the Fellegi-Sunter probabilistic matcher."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.linkage.fellegi_sunter import (
+    FellegiSunterMatcher,
+    FellegiSunterModel,
+    agreement_pattern,
+    estimate_parameters,
+)
+from repro.linkage.slack import Label
+
+
+def synth_patterns(count, m, u, prior, rng):
+    """Draw agreement patterns from a known two-class mixture."""
+    patterns = []
+    for _ in range(count):
+        is_match = rng.random() < prior
+        probabilities = m if is_match else u
+        patterns.append(
+            tuple(rng.random() < p for p in probabilities)
+        )
+    return patterns
+
+
+class TestModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return FellegiSunterModel(
+            m=(0.95, 0.9, 0.85), u=(0.05, 0.1, 0.2), match_prior=0.1
+        )
+
+    def test_full_agreement_weight_positive(self, model):
+        assert model.weight((True, True, True)) > 0
+
+    def test_full_disagreement_weight_negative(self, model):
+        assert model.weight((False, False, False)) < 0
+
+    def test_weight_monotone_in_agreements(self, model):
+        worse = model.weight((True, True, False))
+        better = model.weight((True, True, True))
+        assert better > worse
+
+    def test_posterior_bounds(self, model):
+        for pattern in [(True,) * 3, (False,) * 3, (True, False, True)]:
+            probability = model.match_probability(pattern)
+            assert 0.0 <= probability <= 1.0
+
+    def test_posterior_extremes(self, model):
+        assert model.match_probability((True, True, True)) > 0.9
+        assert model.match_probability((False, False, False)) < 0.01
+
+
+class TestEM:
+    def test_recovers_known_parameters(self):
+        rng = random.Random(42)
+        true_m = (0.95, 0.9, 0.92)
+        true_u = (0.05, 0.15, 0.1)
+        patterns = synth_patterns(30_000, true_m, true_u, 0.15, rng)
+        model = estimate_parameters(patterns, seed=7)
+        assert model.match_prior == pytest.approx(0.15, abs=0.03)
+        for estimated, truth in zip(model.m, true_m):
+            assert estimated == pytest.approx(truth, abs=0.05)
+        for estimated, truth in zip(model.u, true_u):
+            assert estimated == pytest.approx(truth, abs=0.05)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_parameters([])
+
+    def test_inconsistent_widths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_parameters([(True,), (True, False)])
+
+    def test_deterministic_in_seed(self):
+        rng = random.Random(1)
+        patterns = synth_patterns(2_000, (0.9, 0.9), (0.1, 0.1), 0.2, rng)
+        first = estimate_parameters(patterns, seed=3)
+        second = estimate_parameters(patterns, seed=3)
+        assert first == second
+
+
+class TestMatcher:
+    @pytest.fixture(scope="class")
+    def fitted(self, adult_rule, adult_pair):
+        matcher = FellegiSunterMatcher(adult_rule)
+        return matcher.fit(
+            adult_pair.left, adult_pair.right, sample_pairs=6000, seed=5
+        )
+
+    def test_agreement_pattern(self, adult_rule, adult_pair):
+        bound = adult_rule.bind(adult_pair.left.schema)
+        record = adult_pair.left[0]
+        pattern = agreement_pattern(
+            adult_rule, bound.project(record), bound.project(record)
+        )
+        assert pattern == (True,) * len(adult_rule)
+
+    def test_identical_records_classified_match(self, fitted, adult_pair):
+        record = adult_pair.left[0]
+        assert fitted.classify(record, record) is Label.MATCH
+
+    def test_unrelated_records_not_match(self, fitted, adult_pair):
+        # Find a pair disagreeing on everything categorical and far in age.
+        left = adult_pair.left[0]
+        for candidate in adult_pair.right:
+            pattern = agreement_pattern(
+                fitted.rule,
+                fitted._bound.project(left),
+                fitted._bound.project(candidate),
+            )
+            if not any(pattern):
+                assert fitted.classify(left, candidate) is Label.NONMATCH
+                break
+
+    def test_unfitted_matcher_rejects(self, adult_rule, adult_pair):
+        matcher = FellegiSunterMatcher(adult_rule)
+        with pytest.raises(ConfigurationError):
+            matcher.classify(adult_pair.left[0], adult_pair.right[0])
+
+    def test_bad_thresholds(self, adult_rule):
+        with pytest.raises(ConfigurationError):
+            FellegiSunterMatcher(adult_rule, upper=0.2, lower=0.5)
+
+    def test_label_counts_partition(self, fitted, adult_pair):
+        left = adult_pair.left.take(range(80))
+        right = adult_pair.right.take(range(80))
+        counts = fitted.label_counts(left, right)
+        assert sum(counts.values()) == len(left) * len(right)
+
+    def test_planted_matches_score_high(self, fitted, adult_pair):
+        """Shared d3 records (identical pairs) must never be labeled N."""
+        for left_index, right_index in list(
+            zip(adult_pair.shared_left, adult_pair.shared_right)
+        )[:50]:
+            label = fitted.classify(
+                adult_pair.left[left_index], adult_pair.right[right_index]
+            )
+            assert label in (Label.MATCH, Label.UNKNOWN)
+
+    def test_section_iv_analogy(self, fitted, adult_pair):
+        """P-labeled pairs play the role of the hybrid's SMC workload.
+
+        On the linkage task, the matcher's M/N decisions are confident and
+        the P mass is a small middle ground — structurally the same
+        decomposition the blocking step produces.
+        """
+        left = adult_pair.left.take(range(60))
+        right = adult_pair.right.take(range(60))
+        counts = fitted.label_counts(left, right)
+        assert counts[Label.NONMATCH] > counts[Label.MATCH]
+        assert counts[Label.UNKNOWN] < sum(counts.values()) / 2

@@ -1,0 +1,93 @@
+"""Tests for the signed fixed-point codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.fixedpoint import FixedPointCodec
+from repro.errors import CryptoError
+
+MODULUS = 2**127 - 1  # any big odd modulus works for the codec
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return FixedPointCodec(MODULUS, precision=4)
+
+
+class TestRoundTrip:
+    @given(st.floats(-1e9, 1e9, allow_nan=False))
+    def test_encode_decode(self, value):
+        codec = FixedPointCodec(MODULUS, precision=4)
+        decoded = codec.decode(codec.encode(value))
+        # Half a quantization step, plus float rounding in value * scale
+        # (an ulp of the scaled magnitude).
+        tolerance = 10**-4 / 2 + abs(value) * 1e-11
+        assert decoded == pytest.approx(value, abs=tolerance)
+
+    def test_integers_exact_at_precision_zero(self):
+        codec = FixedPointCodec(MODULUS, precision=0)
+        for value in (-50, 0, 17, 90):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_negative_representation(self, codec):
+        encoded = codec.encode(-1.5)
+        assert encoded > MODULUS // 2
+        assert codec.decode(encoded) == -1.5
+
+
+class TestArithmeticScales:
+    def test_sum_of_encodings_decodes_to_sum(self, codec):
+        a = codec.encode(1.25)
+        b = codec.encode(2.5)
+        assert codec.decode((a + b) % MODULUS) == pytest.approx(3.75)
+
+    def test_product_decodes_on_square_scale(self, codec):
+        a = codec.encode(1.5)
+        b = codec.encode(-2.0)
+        assert codec.decode_square((a * b) % MODULUS) == pytest.approx(-3.0)
+
+    @given(st.floats(-1000, 1000), st.floats(-1000, 1000))
+    def test_squared_difference_identity(self, left, right):
+        """(l - r)^2 assembled as l^2 - 2lr + r^2 on encoded values."""
+        codec = FixedPointCodec(MODULUS, precision=3)
+        le = codec.encode(left)
+        re = codec.encode(right)
+        assembled = (le * le - 2 * le * re + re * re) % MODULUS
+        expected = (
+            codec.decode(le) - codec.decode(re)
+        ) ** 2  # exact on the rounded values
+        assert codec.decode_square(assembled) == pytest.approx(
+            expected, rel=1e-9, abs=1e-9
+        )
+
+
+class TestThresholds:
+    def test_square_threshold_scale(self, codec):
+        encoded = codec.encode_square_threshold(19.6**2)
+        assert encoded == int(19.6**2 * 10**8)
+
+    def test_threshold_comparison_is_conservative(self, codec):
+        """Flooring never admits a distance the exact rule rejects."""
+        threshold = 19.6
+        encoded_threshold = codec.encode_square_threshold(threshold**2)
+        just_over = codec.encode(19.6001)
+        squared = (just_over * just_over) % MODULUS
+        assert squared > encoded_threshold
+
+
+class TestErrors:
+    def test_overflow_rejected(self):
+        tiny = FixedPointCodec(10_007, precision=2)
+        with pytest.raises(CryptoError):
+            tiny.encode(1e6)
+
+    def test_threshold_overflow_rejected(self):
+        tiny = FixedPointCodec(10_007, precision=2)
+        with pytest.raises(CryptoError):
+            tiny.encode_square_threshold(1e9)
+
+    def test_bad_residue_rejected(self, codec):
+        with pytest.raises(CryptoError):
+            codec.decode(-1)
+        with pytest.raises(CryptoError):
+            codec.decode(MODULUS)

@@ -1,0 +1,84 @@
+"""Tests for the concrete Adult and toy hierarchies."""
+
+import pytest
+
+from repro.data import hierarchies as h
+from repro.data.vgh import CategoricalHierarchy, Interval, IntervalHierarchy
+
+
+class TestToyHierarchies:
+    def test_toy_education_matches_figure_1(self):
+        vgh = h.toy_education_vgh()
+        assert vgh.root == "ANY"
+        assert set(vgh.leaves) == {
+            "9th", "10th", "11th", "12th", "Bachelors", "Masters", "Doctorate",
+        }
+        assert vgh.leaf_set("Senior Sec.") == {"11th", "12th"}
+        assert vgh.leaf_set("Grad School") == {"Masters", "Doctorate"}
+        assert vgh.is_leaf("Bachelors")
+
+    def test_toy_work_hrs_matches_figure_1(self):
+        vgh = h.toy_work_hrs_vgh()
+        assert vgh.root == Interval(1, 99)
+        assert vgh.domain_range == 98  # the paper's normFactor
+        assert Interval(35, 37) in vgh.leaves
+        assert vgh.parent_of(Interval(35, 37)) == Interval(1, 37)
+
+
+class TestAdultHierarchies:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return h.adult_hierarchies()
+
+    def test_all_eight_qids_present(self, catalog):
+        assert set(catalog) == set(h.ADULT_QID_ORDER)
+
+    def test_qid_order_matches_paper_defaults(self):
+        # The paper's default 5-QID set: age, work class, education,
+        # marital status, occupation.
+        assert h.ADULT_QID_ORDER[:5] == (
+            "age", "workclass", "education", "marital_status", "occupation",
+        )
+
+    def test_age_hierarchy_shape(self, catalog):
+        age = catalog["age"]
+        assert isinstance(age, IntervalHierarchy)
+        # "4 levels and equi-width leaf nodes cover 8-unit intervals"
+        assert age.height == 3
+        widths = {leaf.width for leaf in age.leaves}
+        assert 8 in widths
+        assert age.root.lo == 17
+
+    def test_categorical_domains_complete(self, catalog):
+        expectations = {
+            "workclass": h.WORKCLASS_VALUES,
+            "education": h.EDUCATION_VALUES,
+            "marital_status": h.MARITAL_STATUS_VALUES,
+            "occupation": h.OCCUPATION_VALUES,
+            "race": h.RACE_VALUES,
+            "sex": h.SEX_VALUES,
+            "native_country": h.NATIVE_COUNTRY_VALUES,
+        }
+        for name, values in expectations.items():
+            hierarchy = catalog[name]
+            assert isinstance(hierarchy, CategoricalHierarchy)
+            assert set(hierarchy.leaves) == set(values), name
+
+    def test_native_country_has_41_values(self):
+        assert len(h.NATIVE_COUNTRY_VALUES) == 41
+
+    def test_education_has_16_values(self):
+        assert len(h.EDUCATION_VALUES) == 16
+
+    def test_occupation_has_14_values(self):
+        assert len(h.OCCUPATION_VALUES) == 14
+
+    def test_roots_are_any(self, catalog):
+        for name, hierarchy in catalog.items():
+            if isinstance(hierarchy, CategoricalHierarchy):
+                assert hierarchy.root == "ANY", name
+
+    def test_hierarchies_are_fresh_objects(self):
+        first = h.adult_hierarchies()
+        second = h.adult_hierarchies()
+        assert first["education"] is not second["education"]

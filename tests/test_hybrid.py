@@ -1,0 +1,217 @@
+"""End-to-end tests of the hybrid linkage orchestrator."""
+
+import pytest
+
+from repro.anonymize import MaxEntropyTDS, identity_generalization
+from repro.data.hierarchies import ADULT_QID_ORDER
+from repro.errors import ConfigurationError
+from repro.linkage.ground_truth import GroundTruth
+from repro.linkage.heuristics import RandomSelection, heuristic_by_name
+from repro.linkage.hybrid import HybridLinkage, LinkageConfig
+from repro.linkage.metrics import evaluate
+from repro.linkage.strategies import (
+    LearnedClassifier,
+    MaximizeRecall,
+)
+
+QIDS = ADULT_QID_ORDER[:5]
+
+
+@pytest.fixture(scope="module")
+def generalized_pair(adult_pair, adult_hierarchy_catalog):
+    anonymizer = MaxEntropyTDS(adult_hierarchy_catalog)
+    return (
+        anonymizer.anonymize(adult_pair.left, QIDS, 32),
+        anonymizer.anonymize(adult_pair.right, QIDS, 32),
+    )
+
+
+class TestConfig:
+    def test_allowance_bounds(self, adult_rule):
+        with pytest.raises(ConfigurationError):
+            LinkageConfig(adult_rule, allowance=-0.1)
+        with pytest.raises(ConfigurationError):
+            LinkageConfig(adult_rule, allowance=1.5)
+
+    def test_strategy_three_requires_random_heuristic(self, adult_rule):
+        with pytest.raises(ConfigurationError):
+            LinkageConfig(adult_rule, strategy=LearnedClassifier())
+        LinkageConfig(
+            adult_rule,
+            strategy=LearnedClassifier(),
+            heuristic=RandomSelection(seed=1),
+        )
+
+    def test_schema_mismatch_rejected(
+        self, adult_rule, adult_pair, adult_hierarchy_catalog, toy_generalized
+    ):
+        left = identity_generalization(
+            adult_pair.left, QIDS, adult_hierarchy_catalog
+        )
+        _, toy_right = toy_generalized
+        with pytest.raises(ConfigurationError):
+            HybridLinkage(LinkageConfig(adult_rule)).run(left, toy_right)
+
+
+class TestPrecisionInvariant:
+    """The paper's headline guarantee: precision is always 100%."""
+
+    @pytest.mark.parametrize("allowance", [0.0, 0.005, 0.02, 1.0])
+    @pytest.mark.parametrize("name", ["minFirst", "maxLast", "minAvgFirst"])
+    def test_precision_always_one(
+        self, allowance, name, adult_rule, generalized_pair, adult_pair
+    ):
+        left, right = generalized_pair
+        config = LinkageConfig(
+            adult_rule, allowance=allowance, heuristic=heuristic_by_name(name)
+        )
+        result = HybridLinkage(config).run(left, right)
+        evaluation = evaluate(result, adult_rule, adult_pair.left, adult_pair.right)
+        assert evaluation.precision == 1.0
+
+    def test_verified_matches_are_true(
+        self, adult_rule, generalized_pair, adult_pair
+    ):
+        left, right = generalized_pair
+        config = LinkageConfig(adult_rule, allowance=0.01)
+        result = HybridLinkage(config).run(left, right)
+        bound = adult_rule.bind(adult_pair.left.schema)
+        verified = list(result.iter_verified_matches())
+        assert len(verified) == result.verified_match_pairs
+        for left_index, right_index in verified:
+            assert bound.matches(
+                adult_pair.left[left_index], adult_pair.right[right_index]
+            )
+
+
+class TestScenarioExtremes:
+    def test_k_equals_one_needs_no_smc(
+        self, adult_rule, adult_pair, adult_hierarchy_catalog
+    ):
+        """Paper scenario (1): k=1 -> all pairs labeled by blocking."""
+        left = identity_generalization(
+            adult_pair.left, QIDS, adult_hierarchy_catalog
+        )
+        right = identity_generalization(
+            adult_pair.right, QIDS, adult_hierarchy_catalog
+        )
+        result = HybridLinkage(LinkageConfig(adult_rule, allowance=0.0)).run(
+            left, right
+        )
+        assert result.smc_invocations == 0
+        evaluation = evaluate(result, adult_rule, adult_pair.left, adult_pair.right)
+        assert evaluation.recall == 1.0
+        assert evaluation.precision == 1.0
+
+    def test_full_allowance_reaches_full_recall(
+        self, adult_rule, generalized_pair, adult_pair
+    ):
+        left, right = generalized_pair
+        result = HybridLinkage(LinkageConfig(adult_rule, allowance=1.0)).run(
+            left, right
+        )
+        evaluation = evaluate(result, adult_rule, adult_pair.left, adult_pair.right)
+        assert evaluation.recall == 1.0
+        # All unknown pairs were compared.
+        assert result.smc_invocations == result.blocking.unknown_pairs
+
+    def test_zero_allowance_recall_from_blocking_only(
+        self, adult_rule, generalized_pair, adult_pair
+    ):
+        left, right = generalized_pair
+        result = HybridLinkage(LinkageConfig(adult_rule, allowance=0.0)).run(
+            left, right
+        )
+        assert result.smc_invocations == 0
+        assert result.verified_match_pairs == result.blocked_match_pairs
+
+
+class TestBudgetAccounting:
+    def test_invocations_never_exceed_allowance(
+        self, adult_rule, generalized_pair
+    ):
+        left, right = generalized_pair
+        config = LinkageConfig(adult_rule, allowance=0.003)
+        result = HybridLinkage(config).run(left, right)
+        assert result.smc_invocations <= result.allowance_pairs
+        # The budget is spent fully when there is enough unknown work.
+        if result.blocking.unknown_pairs >= result.allowance_pairs:
+            assert result.smc_invocations == result.allowance_pairs
+
+    def test_pair_partition_accounting(self, adult_rule, generalized_pair):
+        """decided + compared + leftover = total."""
+        left, right = generalized_pair
+        config = LinkageConfig(adult_rule, allowance=0.003)
+        result = HybridLinkage(config).run(left, right)
+        assert (
+            result.blocking.decided_pairs
+            + result.smc_invocations
+            + result.leftover_pairs
+            == result.total_pairs
+        )
+
+    def test_monotone_recall_in_allowance(
+        self, adult_rule, generalized_pair, adult_pair
+    ):
+        """Figure 8's trend: recall grows with the SMC allowance."""
+        left, right = generalized_pair
+        recalls = []
+        for allowance in (0.0, 0.01, 0.05, 1.0):
+            config = LinkageConfig(adult_rule, allowance=allowance)
+            result = HybridLinkage(config).run(left, right)
+            evaluation = evaluate(
+                result, adult_rule, adult_pair.left, adult_pair.right
+            )
+            recalls.append(evaluation.recall)
+        assert recalls == sorted(recalls)
+        assert recalls[-1] == 1.0
+
+
+class TestStrategies:
+    def test_maximize_recall_reaches_full_recall(
+        self, adult_rule, generalized_pair, adult_pair
+    ):
+        left, right = generalized_pair
+        config = LinkageConfig(
+            adult_rule, allowance=0.002, strategy=MaximizeRecall()
+        )
+        result = HybridLinkage(config).run(left, right)
+        evaluation = evaluate(result, adult_rule, adult_pair.left, adult_pair.right)
+        assert evaluation.recall == 1.0
+        # ... at the price of precision (there are unverified claims).
+        assert evaluation.claimed_pairs > 0
+        assert evaluation.precision < 1.0
+
+    def test_learned_classifier_runs(self, adult_rule, generalized_pair, adult_pair):
+        left, right = generalized_pair
+        config = LinkageConfig(
+            adult_rule,
+            allowance=0.005,
+            strategy=LearnedClassifier(),
+            heuristic=RandomSelection(seed=2),
+        )
+        result = HybridLinkage(config).run(left, right)
+        evaluation = evaluate(result, adult_rule, adult_pair.left, adult_pair.right)
+        assert 0.0 <= evaluation.precision <= 1.0
+        assert 0.0 <= evaluation.recall <= 1.0
+
+
+class TestResultReporting:
+    def test_summary_mentions_key_figures(self, adult_rule, generalized_pair):
+        left, right = generalized_pair
+        result = HybridLinkage(LinkageConfig(adult_rule)).run(left, right)
+        text = result.summary()
+        assert "blocking efficiency" in text
+        assert "SMC invocations" in text
+
+    def test_smc_matches_subset_of_ground_truth(
+        self, adult_rule, generalized_pair, adult_pair
+    ):
+        left, right = generalized_pair
+        result = HybridLinkage(LinkageConfig(adult_rule)).run(left, right)
+        truth = set(
+            GroundTruth(
+                adult_rule, adult_pair.left, adult_pair.right
+            ).iter_matches()
+        )
+        assert set(result.smc_matched_pairs) <= truth

@@ -1,0 +1,129 @@
+"""Tests for the Incognito-style full-domain lattice search."""
+
+import pytest
+
+from repro.anonymize import DataFly, Incognito
+from repro.anonymize.base import node_depth
+from repro.anonymize.metrics import distinct_sequences, verify_k_anonymity
+from repro.data.adult import generate_adult
+from repro.data.hierarchies import ADULT_QID_ORDER, adult_hierarchies
+
+QIDS = ADULT_QID_ORDER[:4]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return adult_hierarchies()
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_adult(400, seed=51)
+
+
+class TestSearch:
+    def test_output_is_k_anonymous(self, catalog, relation):
+        generalized = Incognito(catalog).anonymize(relation, QIDS, 8)
+        verify_k_anonymity(generalized, 8)
+
+    def test_full_domain_property(self, catalog, relation):
+        """All records share one generalization depth per attribute."""
+        generalized = Incognito(catalog).anonymize(relation, QIDS, 8)
+        for attr_position, name in enumerate(QIDS):
+            hierarchy = catalog[name]
+            depths = {
+                node_depth(hierarchy, eq_class.sequence[attr_position])
+                for eq_class in generalized.classes
+            }
+            # Unbalanced VGHs clamp shallow leaves, so allow depths below
+            # the chosen level but never above a single maximum.
+            assert len({max(depths)}) == 1
+
+    def test_minimal_vectors_are_k_anonymous_and_maximal(
+        self, catalog, relation
+    ):
+        incognito = Incognito(catalog)
+        minimal = incognito.minimal_generalizations(relation, QIDS[:3], 8)
+        assert minimal
+        for vector in minimal:
+            generalized = incognito._materialize(relation, QIDS[:3], vector, 8)
+            verify_k_anonymity(generalized, 8)
+        # No vector dominates another (antichain).
+        from repro.anonymize.incognito import _dominates
+
+        for first in minimal:
+            for second in minimal:
+                assert not _dominates(first, second)
+
+    def test_one_step_more_specific_breaks_anonymity(self, catalog, relation):
+        """Maximality: deepening any single attribute violates k."""
+        incognito = Incognito(catalog)
+        qids = QIDS[:3]
+        minimal = incognito.minimal_generalizations(relation, qids, 8)
+        from repro.anonymize.base import max_generalization_depth
+
+        max_depths = [max_generalization_depth(catalog[name]) for name in qids]
+        for vector in minimal:
+            for attr_position in range(len(vector)):
+                if vector[attr_position] == max_depths[attr_position]:
+                    continue
+                deeper = list(vector)
+                deeper[attr_position] += 1
+                generalized = incognito._materialize(
+                    relation, qids, tuple(deeper), 1
+                )
+                assert generalized.minimum_class_size < 8, (vector, deeper)
+
+    def test_strictly_anonymous_unlike_datafly(self, catalog, relation):
+        """Incognito is strictly k-anonymous; DataFly may lean on
+        suppression (its all-roots outlier class can be undersized), which
+        is why a direct sequence-count comparison is apples to oranges."""
+        k = 8
+        optimal = Incognito(catalog).anonymize(relation, QIDS, k)
+        verify_k_anonymity(optimal, k)
+        greedy = DataFly(catalog).anonymize(relation, QIDS, k)
+        assert distinct_sequences(optimal) >= 1
+        assert distinct_sequences(greedy) >= 1
+
+    def test_picks_best_minimal_vector(self, catalog, relation):
+        """anonymize() publishes the minimal vector with most sequences."""
+        incognito = Incognito(catalog)
+        qids = QIDS[:3]
+        k = 8
+        minimal = incognito.minimal_generalizations(relation, qids, k)
+        published = incognito.anonymize(relation, qids, k)
+        best = max(
+            distinct_sequences(incognito._materialize(relation, qids, v, k))
+            for v in minimal
+        )
+        assert distinct_sequences(published) == best
+
+    def test_k_one_recovers_exact_values(self, catalog, relation):
+        generalized = Incognito(catalog).anonymize(relation, ("age",), 1)
+        from repro.data.vgh import Interval
+
+        for eq_class in generalized.classes:
+            age = eq_class.sequence[0]
+            assert isinstance(age, Interval) and age.is_point
+
+    def test_k_equals_n(self, catalog, relation):
+        generalized = Incognito(catalog).anonymize(
+            relation, QIDS[:2], len(relation)
+        )
+        verify_k_anonymity(generalized, len(relation))
+
+    def test_lattice_size_guard(self, catalog, relation):
+        from repro.anonymize.incognito import MAX_LATTICE_VECTORS
+        from repro.errors import AnonymizationError
+
+        incognito = Incognito(catalog)
+        import repro.anonymize.incognito as module
+
+        original = module.MAX_LATTICE_VECTORS
+        module.MAX_LATTICE_VECTORS = 2
+        try:
+            with pytest.raises(AnonymizationError):
+                incognito.anonymize(relation, QIDS, 8)
+        finally:
+            module.MAX_LATTICE_VECTORS = original
+        assert MAX_LATTICE_VECTORS == original

@@ -1,0 +1,172 @@
+"""Cross-module integration tests.
+
+These tie the whole stack together in configurations the unit tests do not
+cover: every anonymizer feeding the hybrid pipeline, the real Paillier
+backend end to end, CSV persistence through the pipeline, and a
+hypothesis-driven soundness property over randomly generated relations.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.anonymize import DataFly, MaxEntropyTDS, Mondrian, TDS
+from repro.crypto.smc.oracle import PaillierSMCOracle
+from repro.data.hierarchies import (
+    ADULT_QID_ORDER,
+    adult_hierarchies,
+    toy_education_vgh,
+    toy_work_hrs_vgh,
+)
+from repro.data.schema import Attribute, Relation, Schema
+from repro.linkage.blocking import block
+from repro.linkage.distances import MatchAttribute, MatchRule
+from repro.linkage.ground_truth import GroundTruth
+from repro.linkage.hybrid import HybridLinkage, LinkageConfig
+from repro.linkage.metrics import evaluate
+
+QIDS = ADULT_QID_ORDER[:5]
+
+
+class TestEveryAnonymizerThroughThePipeline:
+    @pytest.mark.parametrize(
+        "algorithm", [MaxEntropyTDS, TDS, DataFly, Mondrian]
+    )
+    def test_pipeline_invariants(
+        self, algorithm, adult_pair, adult_hierarchy_catalog, adult_rule
+    ):
+        anonymizer = algorithm(adult_hierarchy_catalog)
+        left = anonymizer.anonymize(adult_pair.left, QIDS, 8)
+        right = anonymizer.anonymize(adult_pair.right, QIDS, 8)
+        result = HybridLinkage(LinkageConfig(adult_rule, allowance=0.01)).run(
+            left, right
+        )
+        evaluation = evaluate(
+            result, adult_rule, adult_pair.left, adult_pair.right
+        )
+        # The hybrid guarantees hold regardless of the anonymizer.
+        assert evaluation.precision == 1.0
+        assert (
+            result.blocking.decided_pairs
+            + result.smc_invocations
+            + result.leftover_pairs
+            == result.total_pairs
+        )
+
+
+class TestRealCryptoEndToEnd:
+    def test_small_linkage_over_paillier(
+        self, adult_pair, adult_hierarchy_catalog, adult_rule
+    ):
+        left_relation = adult_pair.left.take(range(30))
+        right_relation = adult_pair.right.take(range(30))
+        anonymizer = MaxEntropyTDS(adult_hierarchy_catalog)
+        left = anonymizer.anonymize(left_relation, QIDS, 4)
+        right = anonymizer.anonymize(right_relation, QIDS, 4)
+
+        def factory(rule, schema):
+            return PaillierSMCOracle(rule, schema, key_bits=256, rng=21)
+
+        config = LinkageConfig(
+            adult_rule, allowance=0.05, oracle_factory=factory
+        )
+        result = HybridLinkage(config).run(left, right)
+        evaluation = evaluate(result, adult_rule, left_relation, right_relation)
+        assert evaluation.precision == 1.0
+        # Compare against the plaintext oracle on the same inputs.
+        plain = HybridLinkage(LinkageConfig(adult_rule, allowance=0.05)).run(
+            left, right
+        )
+        assert result.smc_match_count == plain.smc_match_count
+        assert result.smc_invocations == plain.smc_invocations
+
+
+class TestCSVRoundTripPipeline:
+    def test_relations_survive_disk(self, adult_pair, adult_hierarchy_catalog, adult_rule, tmp_path):
+        left_path = str(tmp_path / "d1.csv")
+        right_path = str(tmp_path / "d2.csv")
+        adult_pair.left.write_csv(left_path)
+        adult_pair.right.write_csv(right_path)
+        left_loaded = Relation.read_csv(adult_pair.left.schema, left_path)
+        right_loaded = Relation.read_csv(adult_pair.right.schema, right_path)
+        anonymizer = MaxEntropyTDS(adult_hierarchy_catalog)
+        original = block(
+            adult_rule,
+            anonymizer.anonymize(adult_pair.left, QIDS, 16),
+            anonymizer.anonymize(adult_pair.right, QIDS, 16),
+        )
+        reloaded = block(
+            adult_rule,
+            anonymizer.anonymize(left_loaded, QIDS, 16),
+            anonymizer.anonymize(right_loaded, QIDS, 16),
+        )
+        assert reloaded.matched_pairs == original.matched_pairs
+        assert reloaded.nonmatch_pairs == original.nonmatch_pairs
+
+
+# Hypothesis strategy: small random toy relations over the Figure 1 VGHs.
+_EDUCATION = toy_education_vgh()
+_LEAVES = sorted(_EDUCATION.leaves)
+
+_record = st.tuples(
+    st.sampled_from(_LEAVES), st.integers(1, 98)
+)
+_relation_rows = st.lists(_record, min_size=3, max_size=14)
+
+
+class TestBlockingSoundnessProperty:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(_relation_rows, _relation_rows, st.integers(1, 4), st.floats(0.05, 0.6))
+    def test_random_relations_never_break_soundness(
+        self, left_rows, right_rows, k, theta
+    ):
+        """For random data, anonymity levels and thresholds:
+
+        - blocking M/N decisions agree with the exact rule ``dr``;
+        - the full-allowance hybrid always reaches perfect accuracy.
+        """
+        schema = Schema(
+            [Attribute.categorical("education"), Attribute.continuous("work_hrs")]
+        )
+        hierarchies = {
+            "education": toy_education_vgh(),
+            "work_hrs": toy_work_hrs_vgh(),
+        }
+        left = Relation(schema, left_rows)
+        right = Relation(schema, right_rows)
+        k = min(k, len(left), len(right))
+        rule = MatchRule(
+            [
+                MatchAttribute("education", hierarchies["education"], 0.5),
+                MatchAttribute("work_hrs", hierarchies["work_hrs"], theta),
+            ]
+        )
+        anonymizer = MaxEntropyTDS(hierarchies)
+        left_gen = anonymizer.anonymize(left, ("education", "work_hrs"), k)
+        right_gen = anonymizer.anonymize(right, ("education", "work_hrs"), k)
+        result = HybridLinkage(LinkageConfig(rule, allowance=1.0)).run(
+            left_gen, right_gen
+        )
+        truth = GroundTruth(rule, left, right)
+        evaluation = evaluate(result, rule, left, right)
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 1.0
+        assert result.verified_match_pairs == truth.total_matches()
+
+
+class TestAdultFullDefaults:
+    def test_default_configuration_summary_sane(
+        self, adult_pair, adult_hierarchy_catalog, adult_rule
+    ):
+        """A smoke run at the library's documented defaults."""
+        anonymizer = MaxEntropyTDS(adult_hierarchy_catalog)
+        left = anonymizer.anonymize(adult_pair.left, QIDS, 32)
+        right = anonymizer.anonymize(adult_pair.right, QIDS, 32)
+        result = HybridLinkage(LinkageConfig(adult_rule)).run(left, right)
+        assert 0.0 < result.blocking.blocking_efficiency <= 1.0
+        assert result.allowance_pairs == int(0.015 * result.total_pairs)
+        text = result.summary()
+        assert str(result.smc_invocations) in text

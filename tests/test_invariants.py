@@ -1,0 +1,131 @@
+"""Cross-module invariant properties (hypothesis-driven).
+
+These check relationships *between* subsystems that no single module's
+unit tests pin down: expected distances must live inside the slack bounds,
+generalization must be monotone along hierarchy paths, and the blocking
+verdict tables must agree with the one-pair slack rule.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.hierarchies import adult_hierarchies
+from repro.data.vgh import Interval
+from repro.linkage.distances import MatchAttribute
+from repro.linkage.expected import (
+    categorical_expected_distance,
+    continuous_expected_square_distance,
+)
+from repro.linkage.slack import categorical_slack, continuous_slack
+
+CATALOG = adult_hierarchies()
+EDUCATION = CATALOG["education"]
+OCCUPATION = CATALOG["occupation"]
+AGE = CATALOG["age"]
+
+education_nodes = st.sampled_from(sorted(EDUCATION.nodes))
+occupation_nodes = st.sampled_from(sorted(OCCUPATION.nodes))
+age_nodes = st.sampled_from(sorted(AGE.nodes))
+
+
+class TestExpectedWithinSlackBounds:
+    @given(education_nodes, education_nodes)
+    def test_categorical(self, left, right):
+        """sdl <= E[Hamming] <= sds for every node pair."""
+        lower, upper = categorical_slack(EDUCATION, left, right)
+        expected = categorical_expected_distance(EDUCATION, left, right)
+        assert lower - 1e-12 <= expected <= upper + 1e-12
+
+    @given(age_nodes, age_nodes)
+    def test_continuous_squares(self, left, right):
+        """sdl^2 <= E[d^2] <= sds^2 for every interval pair."""
+        lower, upper = continuous_slack(left, right)
+        expected_square = continuous_expected_square_distance(left, right)
+        assert lower**2 - 1e-9 <= expected_square <= upper**2 + 1e-9
+
+    @given(
+        st.integers(17, 90), st.integers(17, 90)
+    )
+    def test_point_intervals_collapse(self, left, right):
+        """For raw values all three quantities coincide (squared)."""
+        lower, upper = continuous_slack(left, right)
+        expected_square = continuous_expected_square_distance(
+            Interval.point(left), Interval.point(right)
+        )
+        assert lower == upper == abs(left - right)
+        assert expected_square == pytest.approx(lower**2)
+
+
+class TestGeneralizationMonotonicity:
+    @given(st.sampled_from(sorted(EDUCATION.leaves)), st.integers(0, 5))
+    def test_leaf_sets_grow_upwards(self, leaf, depth):
+        node = EDUCATION.generalize(leaf, depth)
+        parent = EDUCATION.parent_of(node)
+        assert leaf in EDUCATION.leaf_set(node)
+        if parent is not None:
+            assert EDUCATION.leaf_set(node) <= EDUCATION.leaf_set(parent)
+
+    @given(st.integers(17, 90), st.integers(0, 3), st.integers(0, 3))
+    def test_intervals_nest(self, age, shallow, extra):
+        deep = AGE.generalize(age, shallow + extra)
+        coarse = AGE.generalize(age, shallow)
+        assert coarse.covers(deep)
+        assert deep.contains(age) or deep.hi == age == AGE.root.hi
+
+    @given(education_nodes, education_nodes)
+    def test_slack_widens_upwards(self, left, right):
+        """Generalizing a value can only widen the slack bracket."""
+        parent = EDUCATION.parent_of(left)
+        if parent is None:
+            return
+        lower, upper = categorical_slack(EDUCATION, left, right)
+        parent_lower, parent_upper = categorical_slack(EDUCATION, parent, right)
+        assert parent_lower <= lower
+        assert parent_upper >= upper
+
+
+class TestBlockingTableAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(occupation_nodes, min_size=1, max_size=4, unique=True),
+        st.lists(occupation_nodes, min_size=1, max_size=4, unique=True),
+        st.floats(0.01, 0.99),
+    )
+    def test_verdict_table_matches_slack_rule(
+        self, left_values, right_values, theta
+    ):
+        """The eager verdict tables equal per-pair slack decisions."""
+        from repro.anonymize.base import EquivalenceClass, GeneralizedRelation
+        from repro.data.schema import Attribute, Relation, Schema
+        from repro.linkage.blocking import block
+        from repro.linkage.distances import MatchRule
+        from repro.linkage.slack import Label, slack_decision
+
+        schema = Schema([Attribute.categorical("occupation")])
+        rule = MatchRule([MatchAttribute("occupation", OCCUPATION, theta)])
+
+        def generalized(values):
+            records = []
+            classes = []
+            for class_id, value in enumerate(values):
+                leaf = sorted(OCCUPATION.leaf_set(value))[0]
+                records.append((leaf,))
+                classes.append(EquivalenceClass((value,), (class_id,)))
+            relation = Relation(schema, records)
+            return GeneralizedRelation(
+                relation, ("occupation",), {"occupation": OCCUPATION},
+                classes, k=1,
+            )
+
+        left = generalized(left_values)
+        right = generalized(right_values)
+        result = block(rule, left, right)
+        # Re-derive counts from the one-pair rule.
+        expected = {"M": 0, "N": 0, "U": 0}
+        for left_value in left_values:
+            for right_value in right_values:
+                label = slack_decision(rule, (left_value,), (right_value,))
+                expected[label.value] += 1
+        assert result.matched_pairs == expected["M"]
+        assert result.nonmatch_pairs == expected["N"]
+        assert result.unknown_pairs == expected["U"]

@@ -1,0 +1,82 @@
+"""Tests for the l-diversity extension of the top-down anonymizers."""
+
+import pytest
+
+from repro.anonymize import MaxEntropyTDS, TDS
+from repro.anonymize.metrics import l_diversity, verify_k_anonymity
+from repro.data.adult import generate_adult
+from repro.data.hierarchies import ADULT_QID_ORDER, adult_hierarchies
+from repro.errors import AnonymizationError
+
+QIDS = ADULT_QID_ORDER[:5]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return adult_hierarchies()
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_adult(700, seed=33)
+
+
+class TestLDiverseAnonymization:
+    @pytest.mark.parametrize("algorithm", [MaxEntropyTDS, TDS])
+    def test_output_is_l_diverse(self, algorithm, catalog, relation):
+        anonymizer = algorithm(catalog, diversity=2, sensitive_attribute="income")
+        generalized = anonymizer.anonymize(relation, QIDS, 8)
+        verify_k_anonymity(generalized, 8)
+        assert l_diversity(generalized, "income") >= 2
+
+    def test_diversity_one_is_plain_k_anonymity(self, catalog, relation):
+        plain = MaxEntropyTDS(catalog).anonymize(relation, QIDS, 8)
+        explicit = MaxEntropyTDS(catalog, diversity=1).anonymize(
+            relation, QIDS, 8
+        )
+        assert plain.distinct_sequences == explicit.distinct_sequences
+
+    def test_diversity_constrains_specialization(self, catalog, relation):
+        """Requiring diversity can only coarsen the release."""
+        plain = MaxEntropyTDS(catalog).anonymize(relation, QIDS, 8)
+        diverse = MaxEntropyTDS(catalog, diversity=2).anonymize(
+            relation, QIDS, 8
+        )
+        assert diverse.distinct_sequences <= plain.distinct_sequences
+
+    def test_unattainable_diversity_rejected(self, catalog, relation):
+        anonymizer = MaxEntropyTDS(catalog, diversity=5)  # income is binary
+        with pytest.raises(AnonymizationError):
+            anonymizer.anonymize(relation, QIDS, 8)
+
+    def test_missing_sensitive_attribute_rejected(self, catalog, relation):
+        anonymizer = MaxEntropyTDS(
+            catalog, diversity=2, sensitive_attribute="blood_type"
+        )
+        with pytest.raises(AnonymizationError):
+            anonymizer.anonymize(relation, QIDS, 8)
+
+    def test_bad_diversity_rejected(self, catalog):
+        with pytest.raises(AnonymizationError):
+            MaxEntropyTDS(catalog, diversity=0)
+
+    def test_l_diverse_release_still_links(self, catalog, relation):
+        """The hybrid pipeline is agnostic to the extra constraint."""
+        from repro.data.partition import build_linkage_pair
+        from repro.linkage.distances import MatchAttribute, MatchRule
+        from repro.linkage.hybrid import HybridLinkage, LinkageConfig
+        from repro.linkage.metrics import evaluate
+
+        pair = build_linkage_pair(relation, seed=44)
+        rule = MatchRule(
+            MatchAttribute(name, catalog[name], 0.05) for name in QIDS
+        )
+        anonymizer = MaxEntropyTDS(catalog, diversity=2)
+        left = anonymizer.anonymize(pair.left, QIDS, 8)
+        right = anonymizer.anonymize(pair.right, QIDS, 8)
+        result = HybridLinkage(LinkageConfig(rule, allowance=1.0)).run(
+            left, right
+        )
+        evaluation = evaluate(result, rule, pair.left, pair.right)
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 1.0

@@ -1,0 +1,97 @@
+"""Tests for evaluation metrics and the SMC cost model."""
+
+import pytest
+
+from repro.linkage.costmodel import CostEstimate, SMCCostModel
+from repro.linkage.metrics import Evaluation
+
+
+class TestEvaluation:
+    def test_perfect(self):
+        evaluation = Evaluation(
+            true_matches=10, verified_matches=10,
+            claimed_pairs=0, claimed_true_matches=0,
+        )
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 1.0
+        assert evaluation.f1 == 1.0
+
+    def test_partial_recall(self):
+        evaluation = Evaluation(
+            true_matches=10, verified_matches=4,
+            claimed_pairs=0, claimed_true_matches=0,
+        )
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == pytest.approx(0.4)
+
+    def test_claims_hurt_precision(self):
+        evaluation = Evaluation(
+            true_matches=10, verified_matches=5,
+            claimed_pairs=10, claimed_true_matches=5,
+        )
+        assert evaluation.precision == pytest.approx(10 / 15)
+        assert evaluation.recall == 1.0
+
+    def test_nothing_reported(self):
+        evaluation = Evaluation(
+            true_matches=10, verified_matches=0,
+            claimed_pairs=0, claimed_true_matches=0,
+        )
+        assert evaluation.precision == 1.0  # vacuous
+        assert evaluation.recall == 0.0
+        assert evaluation.f1 == 0.0
+
+    def test_no_true_matches(self):
+        evaluation = Evaluation(
+            true_matches=0, verified_matches=0,
+            claimed_pairs=0, claimed_true_matches=0,
+        )
+        assert evaluation.recall == 1.0
+
+    def test_summary(self):
+        evaluation = Evaluation(
+            true_matches=4, verified_matches=2,
+            claimed_pairs=0, claimed_true_matches=0,
+        )
+        text = evaluation.summary()
+        assert "precision" in text and "recall" in text
+
+
+class TestCostModel:
+    def test_paper_calibration(self):
+        model = SMCCostModel.paper_2008()
+        assert model.seconds_per_comparison == pytest.approx(0.43)
+        assert model.key_bits == 1024
+        # 3 ciphertexts of 2048 bits each.
+        assert model.bytes_per_comparison == 768
+
+    def test_estimate_scales_linearly(self):
+        model = SMCCostModel.paper_2008()
+        estimate = model.estimate(1000)
+        assert estimate.seconds == pytest.approx(430)
+        assert estimate.bytes_sent == 768_000
+
+    def test_measure_on_this_machine(self):
+        model = SMCCostModel.measure(key_bits=256, samples=2, rng=7)
+        assert model.seconds_per_comparison > 0
+        assert model.bytes_per_comparison > 0
+
+    def test_estimate_summary_units(self):
+        assert "h" in CostEstimate(1, 7200, 10**7).summary()
+        assert "min" in CostEstimate(1, 120, 10**6).summary()
+        assert "s" in CostEstimate(1, 3, 1000).summary()
+
+    def test_estimate_for_result(self):
+        class FakeResult:
+            attribute_comparisons = 10
+
+        model = SMCCostModel.paper_2008()
+        estimate = model.estimate_for_result(FakeResult())
+        assert estimate.attribute_comparisons == 10
+
+    def test_paper_thirteen_comparisons_observation(self):
+        """Non-crypto costs ≈ 13 secure comparisons (Section VI prose)."""
+        model = SMCCostModel.paper_2008()
+        non_crypto_seconds = 2.02 + 2.03 + 1.35  # anonymize x2 + blocking
+        equivalent = non_crypto_seconds / model.seconds_per_comparison
+        assert equivalent == pytest.approx(12.56, abs=0.05)

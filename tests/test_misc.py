@@ -1,0 +1,113 @@
+"""Tests for the small shared modules: errors, RNG plumbing, public API."""
+
+import random
+
+import pytest
+
+import repro
+from repro._rng import DEFAULT_SEED, make_generator, make_random, spawn_seeds
+from repro.errors import (
+    AnonymizationError,
+    ConfigurationError,
+    CryptoError,
+    HierarchyError,
+    ProtocolError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            SchemaError, HierarchyError, AnonymizationError, CryptoError,
+            ProtocolError, ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+    def test_one_except_clause_catches_everything(self):
+        """The documented pattern: a single catch for library failures."""
+        from repro.data.vgh import Interval
+
+        with pytest.raises(ReproError):
+            Interval(5, 1)
+
+
+class TestRNG:
+    def test_make_random_default_is_deterministic(self):
+        assert make_random().random() == make_random(DEFAULT_SEED).random()
+
+    def test_make_random_passthrough(self):
+        rng = random.Random(3)
+        assert make_random(rng) is rng
+
+    def test_make_generator(self):
+        first = make_generator(5)
+        second = make_generator(5)
+        assert first.random() == second.random()
+
+    def test_spawn_seeds_independent(self):
+        seeds = spawn_seeds(1, 4)
+        assert len(seeds) == 4
+        assert len(set(seeds)) == 4
+        assert spawn_seeds(1, 4) == seeds
+        assert spawn_seeds(2, 4) != seeds
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_types_importable(self):
+        from repro import (
+            Evaluation,
+            HybridLinkage,
+            Label,
+            LinkageConfig,
+            LinkageResult,
+            MatchAttribute,
+            MatchRule,
+            evaluate,
+        )
+
+        assert callable(evaluate)
+        assert Label.MATCH.value == "M"
+        for symbol in (
+            Evaluation, HybridLinkage, LinkageConfig, LinkageResult,
+            MatchAttribute, MatchRule,
+        ):
+            assert isinstance(symbol, type)
+
+    def test_docstring_quickstart_runs(self):
+        """The module docstring's example must stay executable."""
+        from repro import HybridLinkage, LinkageConfig, MatchAttribute, MatchRule
+        from repro.anonymize import MaxEntropyTDS
+        from repro.data.adult import generate_adult
+        from repro.data.hierarchies import ADULT_QID_ORDER, adult_hierarchies
+        from repro.data.partition import build_linkage_pair
+        from repro.linkage.metrics import evaluate
+
+        relation = generate_adult(300, seed=7)
+        pair = build_linkage_pair(relation, seed=8)
+        hierarchies = adult_hierarchies()
+        qids = ADULT_QID_ORDER[:5]
+        rule = MatchRule(
+            MatchAttribute(name, hierarchies[name], 0.05) for name in qids
+        )
+        anonymizer = MaxEntropyTDS(hierarchies)
+        left = anonymizer.anonymize(pair.left, qids, k=8)
+        right = anonymizer.anonymize(pair.right, qids, k=8)
+        result = HybridLinkage(LinkageConfig(rule, allowance=0.015)).run(
+            left, right
+        )
+        evaluation = evaluate(result, rule, pair.left, pair.right)
+        assert evaluation.precision == 1.0

@@ -1,0 +1,98 @@
+"""Tests for the random-noise sanitization family."""
+
+import pytest
+
+from repro.anonymize.noise import NoiseAddition, noisy_linkage_baseline
+from repro.data.hierarchies import adult_hierarchies
+from repro.errors import AnonymizationError
+
+ATTRIBUTES = ("age", "education")
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return adult_hierarchies()
+
+
+class TestPerturbation:
+    def test_continuous_values_move_and_stay_in_domain(
+        self, catalog, adult_pair
+    ):
+        sanitizer = NoiseAddition(catalog, noise_level=0.1)
+        noisy = sanitizer.perturb(adult_pair.left, ("age",), seed=3)
+        moved = sum(
+            1
+            for original, perturbed in zip(
+                adult_pair.left.column("age"), noisy.column("age")
+            )
+            if original != perturbed
+        )
+        assert moved > len(noisy) * 0.9
+        age = catalog["age"]
+        for value in noisy.column("age"):
+            assert age.root.lo <= value <= age.root.hi - 1
+
+    def test_zero_noise_is_identity_on_continuous(self, catalog, adult_pair):
+        sanitizer = NoiseAddition(catalog, noise_level=0.0)
+        noisy = sanitizer.perturb(adult_pair.left, ("age",), seed=4)
+        assert noisy.column("age") == adult_pair.left.column("age")
+
+    def test_categorical_flipping(self, catalog, adult_pair):
+        sanitizer = NoiseAddition(
+            catalog, noise_level=0.0, flip_probability=0.5
+        )
+        noisy = sanitizer.perturb(adult_pair.left, ("education",), seed=5)
+        flipped = sum(
+            1
+            for original, perturbed in zip(
+                adult_pair.left.column("education"),
+                noisy.column("education"),
+            )
+            if original != perturbed
+        )
+        # Half are re-drawn; some draws coincide with the original.
+        assert 0.25 * len(noisy) < flipped < 0.65 * len(noisy)
+
+    def test_deterministic_in_seed(self, catalog, adult_pair):
+        sanitizer = NoiseAddition(catalog, noise_level=0.05)
+        first = sanitizer.perturb(adult_pair.left, ("age",), seed=6)
+        second = sanitizer.perturb(adult_pair.left, ("age",), seed=6)
+        assert first == second
+
+    def test_bad_parameters(self, catalog):
+        with pytest.raises(AnonymizationError):
+            NoiseAddition(catalog, noise_level=-1)
+        with pytest.raises(AnonymizationError):
+            NoiseAddition(catalog, flip_probability=2.0)
+
+
+class TestNoisyBaseline:
+    def test_no_noise_is_exact(self, adult_rule, adult_pair):
+        outcome = noisy_linkage_baseline(
+            adult_rule, adult_pair.left, adult_pair.right,
+            noise_level=0.0, seed=7,
+        )
+        assert outcome.evaluation.precision == 1.0
+        assert outcome.evaluation.recall == 1.0
+
+    def test_noise_breaks_precision_or_recall(self, adult_rule, adult_pair):
+        """Dirt, not imprecision: noisy matching makes real errors."""
+        outcome = noisy_linkage_baseline(
+            adult_rule, adult_pair.left, adult_pair.right,
+            noise_level=0.15, seed=8,
+        )
+        assert (
+            outcome.evaluation.precision < 1.0
+            or outcome.evaluation.recall < 1.0
+        )
+
+    def test_accuracy_degrades_with_noise(self, adult_rule, adult_pair):
+        f1_scores = []
+        for level in (0.0, 0.05, 0.25):
+            outcome = noisy_linkage_baseline(
+                adult_rule, adult_pair.left, adult_pair.right,
+                noise_level=level, seed=9,
+            )
+            f1_scores.append(outcome.evaluation.f1)
+        assert f1_scores[0] >= f1_scores[1] >= f1_scores[2]
+        assert f1_scores[2] < f1_scores[0]

@@ -1,0 +1,133 @@
+"""Golden test: the paper's Section III worked example, number for number.
+
+Tables I and II give R, S and their anonymizations R' (k=3) and S' (k=2);
+the text walks through the blocking outcome: 6 record pairs matched, 12
+mismatched, 18 unknown — blocking efficiency 50% over the 36 pairs.
+"""
+
+import pytest
+
+from repro.data.vgh import Interval
+from repro.linkage.blocking import block
+from repro.linkage.ground_truth import GroundTruth
+from repro.linkage.hybrid import HybridLinkage, LinkageConfig
+from repro.linkage.metrics import evaluate
+from repro.linkage.slack import Label, slack_decision
+
+
+class TestBlockingCounts:
+    @pytest.fixture(scope="class")
+    def result(self, toy_rule, toy_generalized):
+        r_prime, s_prime = toy_generalized
+        return block(toy_rule, r_prime, s_prime)
+
+    def test_six_pairs_matched(self, result):
+        assert result.matched_pairs == 6
+
+    def test_twelve_pairs_mismatched(self, result):
+        assert result.nonmatch_pairs == 12
+
+    def test_eighteen_pairs_unknown(self, result):
+        assert result.unknown_pairs == 18
+
+    def test_blocking_efficiency_fifty_percent(self, result):
+        assert result.blocking_efficiency == pytest.approx(0.5)
+
+    def test_total_pairs(self, result):
+        assert result.total_pairs == 36
+
+    def test_sufficient_allowance(self, result):
+        assert result.sufficient_allowance == pytest.approx(0.5)
+
+
+class TestWalkthroughDecisions:
+    """The individual decisions the paper derives in Section III."""
+
+    def test_r1_s5_mismatch(self, toy_rule):
+        # (Masters, [35-37)) vs (Senior Sec., [1-35)): d1 = 1 > 0.5 -> N.
+        label = slack_decision(
+            toy_rule,
+            ("Masters", Interval(35, 37)),
+            ("Senior Sec.", Interval(1, 35)),
+        )
+        assert label is Label.NONMATCH
+
+    def test_r4_s1_mismatch(self, toy_rule):
+        # (Secondary, [1-35)) vs (Masters, [35-37)): education disjoint -> N.
+        label = slack_decision(
+            toy_rule,
+            ("Secondary", Interval(1, 35)),
+            ("Masters", Interval(35, 37)),
+        )
+        assert label is Label.NONMATCH
+
+    def test_r1_s1_match(self, toy_rule):
+        # Both (Masters, [35-37)): any two values < 19.6 apart -> M.
+        label = slack_decision(
+            toy_rule,
+            ("Masters", Interval(35, 37)),
+            ("Masters", Interval(35, 37)),
+        )
+        assert label is Label.MATCH
+
+    def test_r1_s3_undecided(self, toy_rule):
+        # (Masters, [35-37)) vs (ANY, [1-35)): the paper's two
+        # concretizations disagree -> U.
+        label = slack_decision(
+            toy_rule,
+            ("Masters", Interval(35, 37)),
+            ("ANY", Interval(1, 35)),
+        )
+        assert label is Label.UNKNOWN
+        # The paper's concretizations:
+        assert toy_rule.matches_values(("Masters", 35), ("Masters", 34))
+        assert not toy_rule.matches_values(("Masters", 35), ("11th", 32))
+
+    def test_r4_s5_undecided(self, toy_rule):
+        label = slack_decision(
+            toy_rule,
+            ("Secondary", Interval(1, 35)),
+            ("Senior Sec.", Interval(1, 35)),
+        )
+        assert label is Label.UNKNOWN
+
+
+class TestEndToEndOnToyExample:
+    def test_unbounded_allowance_reaches_full_recall(
+        self, toy_rule, toy_generalized, toy_relations
+    ):
+        r_prime, s_prime = toy_generalized
+        r, s = toy_relations
+        config = LinkageConfig(toy_rule, allowance=1.0)
+        result = HybridLinkage(config).run(r_prime, s_prime)
+        evaluation = evaluate(result, toy_rule, r, s)
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 1.0
+        # 18 unknown pairs all go through SMC.
+        assert result.smc_invocations == 18
+
+    def test_ten_pair_allowance_like_the_paper(
+        self, toy_rule, toy_generalized, toy_relations
+    ):
+        """Section III: 'participants can endure comparing at most 10'."""
+        r_prime, s_prime = toy_generalized
+        r, s = toy_relations
+        config = LinkageConfig(toy_rule, allowance=10 / 36)
+        result = HybridLinkage(config).run(r_prime, s_prime)
+        assert result.allowance_pairs == 10
+        assert result.smc_invocations == 10
+        assert result.leftover_pairs == 8
+        evaluation = evaluate(result, toy_rule, r, s)
+        assert evaluation.precision == 1.0  # strategy 1
+
+    def test_ground_truth_on_toy_relations(self, toy_rule, toy_relations):
+        r, s = toy_relations
+        truth = GroundTruth(toy_rule, r, s)
+        # Exhaustive check against the decision rule.
+        bound = toy_rule.bind(r.schema)
+        expected = sum(
+            bound.matches(left, right) for left in r for right in s
+        )
+        assert truth.total_matches() == expected
+        pairs = set(truth.iter_matches())
+        assert len(pairs) == expected

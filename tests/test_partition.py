@@ -1,0 +1,64 @@
+"""Tests for the D1/D2 experiment construction."""
+
+import pytest
+
+from repro.data.adult import generate_adult
+from repro.data.partition import build_linkage_pair, split_three_way
+from repro.data.schema import Attribute, Relation, Schema
+from repro.errors import SchemaError
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_adult(301, seed=5)  # 301 = 3 * 100 + 1 leftover
+
+
+class TestSplitThreeWay:
+    def test_equal_sizes_with_remainder_dropped(self, relation):
+        d1, d2, d3 = split_three_way(relation, seed=1)
+        assert len(d1) == len(d2) == len(d3) == 100
+
+    def test_parts_are_disjoint_as_index_sets(self, relation):
+        d1, d2, d3 = split_three_way(relation, seed=1)
+        combined = list(d1) + list(d2) + list(d3)
+        # Sampling without replacement: the multiset of records is a
+        # sub-multiset of the source.
+        source = list(relation.records)
+        for record in combined:
+            source.remove(record)  # raises ValueError on over-draw
+
+    def test_deterministic_in_seed(self, relation):
+        first = split_three_way(relation, seed=3)
+        second = split_three_way(relation, seed=3)
+        assert [part.records for part in first] == [
+            part.records for part in second
+        ]
+
+    def test_too_small_raises(self):
+        schema = Schema([Attribute.continuous("x")])
+        tiny = Relation(schema, [(1,), (2,)])
+        with pytest.raises(SchemaError):
+            split_three_way(tiny, seed=1)
+
+
+class TestBuildLinkagePair:
+    def test_sizes(self, relation):
+        pair = build_linkage_pair(relation, seed=2)
+        assert len(pair.left) == len(pair.right) == 200
+        assert pair.planted_matches == 100
+        assert pair.total_pairs == 40000
+
+    def test_shared_records_align(self, relation):
+        pair = build_linkage_pair(relation, seed=2)
+        for left_index, right_index in zip(pair.shared_left, pair.shared_right):
+            assert pair.left[left_index] == pair.right[right_index]
+
+    def test_shuffle_disperses_shared_block(self, relation):
+        pair = build_linkage_pair(relation, seed=2, shuffle_sides=True)
+        # The shared indices should not be the contiguous tail block.
+        assert sorted(pair.shared_left) != list(range(100, 200))
+
+    def test_no_shuffle_keeps_tail_block(self, relation):
+        pair = build_linkage_pair(relation, seed=2, shuffle_sides=False)
+        assert list(pair.shared_left) == list(range(100, 200))
+        assert list(pair.shared_right) == list(range(100, 200))

@@ -1,0 +1,146 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import Attribute, AttributeKind, Relation, Schema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Attribute.categorical("name"),
+            Attribute.continuous("age"),
+            Attribute.categorical("city"),
+        ]
+    )
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation(
+        schema,
+        [("ann", 30, "rome"), ("bob", 41, "pisa"), ("cid", 25, "rome")],
+    )
+
+
+class TestAttribute:
+    def test_kinds(self):
+        assert Attribute.categorical("x").kind is AttributeKind.CATEGORICAL
+        assert Attribute.continuous("x").kind is AttributeKind.CONTINUOUS
+        assert Attribute.continuous("x").is_continuous
+        assert not Attribute.categorical("x").is_continuous
+
+    def test_validate_categorical_rejects_numbers(self):
+        with pytest.raises(SchemaError):
+            Attribute.categorical("x").validate(3)
+
+    def test_validate_continuous_rejects_strings_and_bools(self):
+        with pytest.raises(SchemaError):
+            Attribute.continuous("x").validate("3")
+        with pytest.raises(SchemaError):
+            Attribute.continuous("x").validate(True)
+
+    def test_validate_accepts_int_and_float(self):
+        Attribute.continuous("x").validate(3)
+        Attribute.continuous("x").validate(3.5)
+
+
+class TestSchema:
+    def test_names_in_order(self, schema):
+        assert schema.names == ("name", "age", "city")
+
+    def test_position_lookup(self, schema):
+        assert schema.position("age") == 1
+        assert schema.positions(["city", "name"]) == (2, 0)
+
+    def test_unknown_attribute_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.position("zip")
+        with pytest.raises(SchemaError):
+            schema["zip"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute.categorical("x"), Attribute.continuous("x")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_project_preserves_order(self, schema):
+        projected = schema.project(["city", "age"])
+        assert projected.names == ("city", "age")
+
+    def test_contains(self, schema):
+        assert "age" in schema
+        assert "zip" not in schema
+
+    def test_equality_and_hash(self, schema):
+        clone = Schema(schema.attributes)
+        assert clone == schema
+        assert hash(clone) == hash(schema)
+
+    def test_validate_record_length(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_record(("ann", 30))
+
+    def test_validate_record_types(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_record(("ann", "thirty", "rome"))
+
+
+class TestRelation:
+    def test_len_and_iteration(self, relation):
+        assert len(relation) == 3
+        assert list(relation)[0] == ("ann", 30, "rome")
+
+    def test_column(self, relation):
+        assert relation.column("age") == (30, 41, 25)
+
+    def test_project(self, relation):
+        projected = relation.project(["age"])
+        assert projected.records == ((30,), (41,), (25,))
+
+    def test_take(self, relation):
+        taken = relation.take([2, 0])
+        assert taken.records == (("cid", 25, "rome"), ("ann", 30, "rome"))
+
+    def test_concat(self, relation):
+        doubled = relation.concat(relation)
+        assert len(doubled) == 6
+
+    def test_concat_schema_mismatch(self, relation):
+        other = Relation(Schema([Attribute.continuous("age")]), [(1,)])
+        with pytest.raises(SchemaError):
+            relation.concat(other)
+
+    def test_from_and_to_dicts(self, schema):
+        rows = [{"name": "ann", "age": 30, "city": "rome"}]
+        relation = Relation.from_dicts(schema, rows)
+        assert relation.to_dicts() == rows
+
+    def test_distinct_values(self, relation):
+        assert relation.distinct_values("city") == {"rome", "pisa"}
+
+    def test_validation_on_construction(self, schema):
+        with pytest.raises(SchemaError):
+            Relation(schema, [("ann", "oops", "rome")])
+
+    def test_csv_round_trip(self, relation, tmp_path):
+        path = str(tmp_path / "relation.csv")
+        relation.write_csv(path)
+        loaded = Relation.read_csv(relation.schema, path)
+        assert loaded == relation
+
+    def test_csv_header_mismatch(self, relation, tmp_path, schema):
+        path = str(tmp_path / "relation.csv")
+        relation.write_csv(path)
+        other = Schema([Attribute.categorical("x")])
+        with pytest.raises(SchemaError):
+            Relation.read_csv(other, path)
+
+    def test_equality(self, relation, schema):
+        same = Relation(schema, relation.records)
+        assert same == relation

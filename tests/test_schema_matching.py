@@ -1,0 +1,126 @@
+"""Tests for private schema matching (the paper's assumed preprocessing)."""
+
+import pytest
+
+from repro.data.schema import Attribute, Relation, Schema
+from repro.errors import ProtocolError
+from repro.linkage.schema_matching import (
+    SchemaMatch,
+    align_right_relation,
+    attribute_signature,
+    match_schemas,
+)
+
+
+@pytest.fixture(scope="module")
+def left_schema():
+    return Schema(
+        [
+            Attribute.continuous("age"),
+            Attribute.categorical("last_name"),
+            Attribute.categorical("city"),
+            Attribute.continuous("hours_per_week"),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def right_schema():
+    return Schema(
+        [
+            Attribute.categorical("surname"),
+            Attribute.continuous("age_years"),
+            Attribute.categorical("city_of_residence"),
+            Attribute.categorical("blood_type"),
+        ]
+    )
+
+
+class TestSignatures:
+    def test_tokenization(self):
+        signature = attribute_signature("date_of_birth", "continuous")
+        assert "birth" in signature
+        assert "kind:continuous" in signature
+
+    def test_synonym_folding(self):
+        dob = attribute_signature("dob", "continuous")
+        birth_date = attribute_signature("birth_date", "continuous")
+        assert dob & birth_date >= {"birth", "kind:continuous"}
+
+    def test_kind_separates_identically_named(self):
+        continuous = attribute_signature("code", "continuous")
+        categorical = attribute_signature("code", "categorical")
+        assert continuous != categorical
+
+
+class TestMatchSchemas:
+    def test_matches_renamed_attributes(self, left_schema, right_schema):
+        matches = match_schemas(left_schema, right_schema, rng=5)
+        by_left = {match.left_name: match.right_name for match in matches}
+        assert by_left["age"] == "age_years"
+        assert by_left["last_name"] == "surname"
+        assert by_left["city"] == "city_of_residence"
+        # Unrelated attributes stay unmatched.
+        assert "hours_per_week" not in by_left
+        assert "blood_type" not in {m.right_name for m in matches}
+
+    def test_one_to_one(self, left_schema, right_schema):
+        matches = match_schemas(left_schema, right_schema, rng=6)
+        left_names = [match.left_name for match in matches]
+        right_names = [match.right_name for match in matches]
+        assert len(set(left_names)) == len(left_names)
+        assert len(set(right_names)) == len(right_names)
+
+    def test_identical_schemas_match_fully(self, left_schema):
+        matches = match_schemas(left_schema, left_schema, rng=7)
+        assert len(matches) == len(left_schema)
+        for match in matches:
+            assert match.left_name == match.right_name
+            assert match.score == 1.0
+
+    def test_scores_sorted_within_threshold(self, left_schema, right_schema):
+        matches = match_schemas(
+            left_schema, right_schema, threshold=0.2, rng=8
+        )
+        assert all(match.score >= 0.2 for match in matches)
+
+    def test_deterministic_in_seed(self, left_schema, right_schema):
+        first = match_schemas(left_schema, right_schema, rng=9)
+        second = match_schemas(left_schema, right_schema, rng=9)
+        assert first == second
+
+
+class TestAlignment:
+    def test_align_right_relation(self, left_schema, right_schema):
+        right = Relation(
+            right_schema,
+            [("smith", 34, "rome", "A+"), ("ng", 51, "pisa", "O-")],
+        )
+        matches = match_schemas(left_schema, right_schema, rng=10)
+        aligned = align_right_relation(matches, right)
+        assert set(aligned.schema.names) <= set(left_schema.names)
+        position = aligned.schema.position("last_name")
+        assert aligned[0][position] == "smith"
+        age_position = aligned.schema.position("age")
+        # The kind follows the right side's matched column (continuous).
+        assert aligned.schema["age"].is_continuous
+        assert aligned[1][age_position] == 51
+
+    def test_align_requires_matches(self, right_schema):
+        right = Relation(right_schema, [("x", 1, "y", "A+")])
+        with pytest.raises(ProtocolError):
+            align_right_relation([], right)
+
+    def test_end_to_end_then_linkage_assumption_holds(self):
+        """After matching + alignment the same-schema assumption holds."""
+        left_schema = Schema(
+            [Attribute.continuous("age"), Attribute.categorical("city")]
+        )
+        right_schema = Schema(
+            [Attribute.categorical("city_name"), Attribute.continuous("age_years")]
+        )
+        left = Relation(left_schema, [(30, "rome")])
+        right = Relation(right_schema, [("rome", 30)])
+        matches = match_schemas(left_schema, right_schema, rng=11)
+        aligned = align_right_relation(matches, right)
+        assert aligned.schema == left.schema.project(aligned.schema.names)

@@ -1,0 +1,89 @@
+"""Tests for the secure token-blocking baseline (Al-Lawati et al. [6])."""
+
+import pytest
+
+from repro.data.hierarchies import adult_hierarchies
+from repro.errors import ConfigurationError
+from repro.linkage.distances import MatchAttribute, MatchRule
+from repro.linkage.ground_truth import GroundTruth
+from repro.linkage.secure_blocking import (
+    blocking_token_positions,
+    secure_token_blocking,
+)
+
+
+@pytest.fixture(scope="module")
+def small_pair(adult_pair):
+    return (
+        adult_pair.left.take(range(120)),
+        adult_pair.right.take(range(120)),
+    )
+
+
+class TestTokenPositions:
+    def test_exact_categoricals_tokenized(self, adult_rule, adult_pair):
+        positions = blocking_token_positions(adult_rule, adult_pair.left)
+        # age (continuous) is excluded; the 4 categorical QIDs remain.
+        names = [adult_pair.left.schema.names[p] for p in positions]
+        assert names == ["workclass", "education", "marital_status", "occupation"]
+
+    def test_loose_categorical_excluded(self, adult_pair):
+        catalog = adult_hierarchies()
+        rule = MatchRule(
+            [
+                MatchAttribute("education", catalog["education"], 0.5),
+                MatchAttribute("sex", catalog["sex"], 1.0),
+            ]
+        )
+        positions = blocking_token_positions(rule, adult_pair.left)
+        names = [adult_pair.left.schema.names[p] for p in positions]
+        assert names == ["education"]
+
+
+class TestSecureTokenBlocking:
+    def test_perfect_accuracy(self, adult_rule, small_pair):
+        left, right = small_pair
+        outcome = secure_token_blocking(adult_rule, left, right, rng=5)
+        truth = set(GroundTruth(adult_rule, left, right).iter_matches())
+        assert set(outcome.matched_pairs) == truth
+
+    def test_cost_accounting(self, adult_rule, small_pair):
+        left, right = small_pair
+        outcome = secure_token_blocking(adult_rule, left, right, rng=5)
+        assert outcome.smc_invocations == outcome.candidate_pairs
+        assert outcome.commutative_encryptions == 2 * (len(left) + len(right))
+        assert 0 <= outcome.candidate_fraction <= 1
+
+    def test_candidates_cover_all_matches(self, adult_rule, small_pair):
+        """Every true match agrees on the token, so none is missed."""
+        left, right = small_pair
+        outcome = secure_token_blocking(adult_rule, left, right, rng=6)
+        truth = GroundTruth(adult_rule, left, right)
+        assert len(outcome.matched_pairs) == truth.total_matches()
+
+    def test_requires_a_tokenizable_attribute(self, small_pair):
+        catalog = adult_hierarchies()
+        rule = MatchRule([MatchAttribute("age", catalog["age"], 0.05)])
+        with pytest.raises(ConfigurationError):
+            secure_token_blocking(rule, *small_pair, rng=7)
+
+    def test_schema_mismatch(self, adult_rule, small_pair, toy_relations):
+        with pytest.raises(ConfigurationError):
+            secure_token_blocking(
+                adult_rule, small_pair[0], toy_relations[0], rng=8
+            )
+
+    def test_heavy_hitter_tokens_blow_up_candidates(self, adult_pair):
+        """The method's cost is data-dependent: block on `sex` alone and
+        the candidate set approaches half the cross product."""
+        catalog = adult_hierarchies()
+        rule = MatchRule(
+            [
+                MatchAttribute("sex", catalog["sex"], 0.5),
+                MatchAttribute("age", catalog["age"], 0.05),
+            ]
+        )
+        left = adult_pair.left.take(range(60))
+        right = adult_pair.right.take(range(60))
+        outcome = secure_token_blocking(rule, left, right, rng=9)
+        assert outcome.candidate_fraction > 0.3

@@ -1,0 +1,210 @@
+"""Tests for slack distances and the slack decision rule (Section IV)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.hierarchies import toy_education_vgh, toy_work_hrs_vgh
+from repro.data.vgh import Interval
+from repro.linkage.distances import MatchAttribute, MatchRule, edit_distance
+from repro.linkage.slack import (
+    Label,
+    as_interval,
+    attribute_slack,
+    categorical_slack,
+    continuous_slack,
+    prefix_edit_slack,
+    slack_decision,
+)
+
+
+@pytest.fixture(scope="module")
+def education():
+    return toy_education_vgh()
+
+
+@pytest.fixture(scope="module")
+def work_hrs():
+    return toy_work_hrs_vgh()
+
+
+class TestCategoricalSlack:
+    def test_disjoint_sets(self, education):
+        # Masters vs Senior Sec.: specSets {Masters} and {11th, 12th}.
+        assert categorical_slack(education, "Masters", "Senior Sec.") == (1, 1)
+
+    def test_equal_leaves(self, education):
+        assert categorical_slack(education, "Masters", "Masters") == (0, 0)
+
+    def test_overlapping_but_uncertain(self, education):
+        # ANY covers Masters, but could also specialize elsewhere.
+        assert categorical_slack(education, "ANY", "Masters") == (0, 1)
+
+    def test_same_internal_node(self, education):
+        # Two records both generalized to Senior Sec. may still differ.
+        assert categorical_slack(education, "Senior Sec.", "Senior Sec.") == (0, 1)
+
+    def test_symmetry(self, education):
+        for left in ("ANY", "Masters", "Senior Sec.", "9th"):
+            for right in ("ANY", "Masters", "Senior Sec.", "9th"):
+                assert categorical_slack(education, left, right) == (
+                    categorical_slack(education, right, left)
+                )
+
+    def test_bounds_true_distance_exhaustively(self, education):
+        """sdl <= Hamming(p, q) <= sds over every specialization pair."""
+        nodes = education.nodes
+        for left in nodes:
+            for right in nodes:
+                lower, upper = categorical_slack(education, left, right)
+                distances = {
+                    0 if p == q else 1
+                    for p in education.leaf_set(left)
+                    for q in education.leaf_set(right)
+                }
+                assert lower == min(distances)
+                assert upper == max(distances)
+
+
+class TestContinuousSlack:
+    def test_raw_values_collapse_to_exact_distance(self):
+        assert continuous_slack(35, 36) == (1, 1)
+
+    def test_interval_pair(self):
+        lower, upper = continuous_slack(Interval(35, 37), Interval(1, 35))
+        assert lower == 0  # touching half-open boundary
+        assert upper == 36
+
+    def test_same_interval(self):
+        lower, upper = continuous_slack(Interval(35, 37), Interval(35, 37))
+        assert lower == 0
+        assert upper == 2
+
+    def test_as_interval(self):
+        assert as_interval(5) == Interval.point(5.0)
+        assert as_interval(Interval(1, 2)) == Interval(1, 2)
+
+    @given(
+        st.integers(0, 80), st.integers(0, 15),
+        st.integers(0, 80), st.integers(0, 15),
+        st.floats(0, 1), st.floats(0, 1),
+    )
+    def test_bounds_hold_for_sampled_points(self, a1, w1, a2, w2, t1, t2):
+        left = Interval(a1, a1 + w1)
+        right = Interval(a2, a2 + w2)
+        lower, upper = continuous_slack(left, right)
+        v = a1 + t1 * w1 * 0.999
+        w = a2 + t2 * w2 * 0.999
+        assert lower - 1e-9 <= abs(v - w) <= upper + 1e-9
+
+
+class TestAttributeSlack:
+    def test_dispatches_continuous(self, work_hrs):
+        attribute = MatchAttribute("work_hrs", work_hrs, 0.2)
+        assert attribute_slack(attribute, Interval(35, 37), Interval(35, 37)) == (0, 2)
+
+    def test_dispatches_categorical(self, education):
+        attribute = MatchAttribute("education", education, 0.5)
+        assert attribute_slack(attribute, "Masters", "ANY") == (0, 1)
+
+
+class TestSlackDecision:
+    @pytest.fixture(scope="class")
+    def rule(self, education, work_hrs):
+        return MatchRule(
+            [
+                MatchAttribute("education", education, 0.5),
+                MatchAttribute("work_hrs", work_hrs, 0.2),
+            ]
+        )
+
+    def test_paper_mismatch_case(self, rule):
+        # (r1', s5') = (Masters, [35-37)) vs (Senior Sec., [1-35)): N.
+        label = slack_decision(
+            rule,
+            ("Masters", Interval(35, 37)),
+            ("Senior Sec.", Interval(1, 35)),
+        )
+        assert label is Label.NONMATCH
+
+    def test_paper_match_case(self, rule):
+        # (r1', s1') = (Masters, [35-37)) twice: M (2 <= 19.6).
+        label = slack_decision(
+            rule,
+            ("Masters", Interval(35, 37)),
+            ("Masters", Interval(35, 37)),
+        )
+        assert label is Label.MATCH
+
+    def test_paper_unknown_case(self, rule):
+        # (r1', s3') = (Masters, [35-37)) vs (ANY, [1-35)): U.
+        label = slack_decision(
+            rule,
+            ("Masters", Interval(35, 37)),
+            ("ANY", Interval(1, 35)),
+        )
+        assert label is Label.UNKNOWN
+
+    def test_ungeneralized_values_decide_exactly(self, rule):
+        assert slack_decision(rule, ("Masters", 35), ("Masters", 36)) is Label.MATCH
+        assert slack_decision(rule, ("Masters", 35), ("9th", 36)) is Label.NONMATCH
+
+    def test_soundness_against_exact_rule(self, rule, education, work_hrs):
+        """M/N decisions must agree with dr on every concretization."""
+        nodes = ("ANY", "Secondary", "Senior Sec.", "Masters", "Grad School")
+        intervals = (
+            Interval(1, 99), Interval(1, 37), Interval(1, 35),
+            Interval(35, 37), Interval(37, 99),
+        )
+        for left_node in nodes:
+            for right_node in nodes:
+                for left_interval in intervals:
+                    for right_interval in intervals:
+                        label = slack_decision(
+                            rule,
+                            (left_node, left_interval),
+                            (right_node, right_interval),
+                        )
+                        if label is Label.UNKNOWN:
+                            continue
+                        samples = self._concretizations(
+                            education, left_node, left_interval
+                        )
+                        others = self._concretizations(
+                            education, right_node, right_interval
+                        )
+                        for left_values in samples:
+                            for right_values in others:
+                                expected = rule.matches_values(
+                                    left_values, right_values
+                                )
+                                assert expected == (label is Label.MATCH)
+
+    @staticmethod
+    def _concretizations(education, node, interval):
+        leaves = sorted(education.leaf_set(node))[:2]
+        points = [interval.lo, interval.midpoint, max(interval.lo, interval.hi - 1)]
+        return [(leaf, point) for leaf in leaves for point in points]
+
+
+class TestPrefixEditSlack:
+    def test_concrete_strings_are_exact(self):
+        lower, upper = prefix_edit_slack("smith", "smyth")
+        assert lower == upper == edit_distance("smith", "smyth")
+
+    def test_wildcard_bounds_contain_completions(self):
+        lower, upper = prefix_edit_slack("smi*", "smith", max_suffix=6)
+        for completion in ("smi", "smith", "smythe", "smiling"):
+            if len(completion) <= 3 + 6:
+                distance = edit_distance(completion, "smith")
+                assert lower <= distance <= upper
+
+    def test_two_wildcards(self):
+        lower, upper = prefix_edit_slack("jo*", "jo*", max_suffix=4)
+        assert lower == 0
+        for left in ("jo", "john", "joan"):
+            for right in ("jo", "jones", "joy"):
+                assert edit_distance(left, right) <= upper
+
+    def test_lower_bound_never_negative(self):
+        lower, _ = prefix_edit_slack("a*", "b*", max_suffix=100)
+        assert lower >= 0

@@ -1,0 +1,240 @@
+"""Unit and property tests for repro.data.vgh."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.vgh import CategoricalHierarchy, Interval, IntervalHierarchy
+from repro.errors import HierarchyError
+
+
+@pytest.fixture(scope="module")
+def education():
+    return CategoricalHierarchy(
+        "education",
+        {
+            "ANY": {
+                "Secondary": {
+                    "Junior Sec.": ["9th", "10th"],
+                    "Senior Sec.": ["11th", "12th"],
+                },
+                "University": {
+                    "Bachelors": [],
+                    "Grad School": ["Masters", "Doctorate"],
+                },
+            },
+        },
+    )
+
+
+class TestInterval:
+    def test_ordering_of_bounds(self):
+        with pytest.raises(HierarchyError):
+            Interval(5, 3)
+
+    def test_point(self):
+        point = Interval.point(4)
+        assert point.is_point
+        assert point.contains(4)
+        assert not point.contains(4.5)
+        assert point.width == 0
+
+    def test_contains_half_open(self):
+        interval = Interval(1, 35)
+        assert interval.contains(1)
+        assert interval.contains(34.9)
+        assert not interval.contains(35)
+
+    def test_covers(self):
+        assert Interval(1, 99).covers(Interval(35, 37))
+        assert not Interval(35, 37).covers(Interval(1, 99))
+
+    def test_overlap_half_open_boundary(self):
+        # [1,35) and [35,37) share no value.
+        assert not Interval(1, 35).overlaps(Interval(35, 37))
+
+    def test_overlap_point_on_closed_edge(self):
+        assert Interval.point(35).overlaps(Interval(35, 37))
+        assert not Interval.point(35).overlaps(Interval(1, 35))
+
+    def test_min_distance_gap(self):
+        assert Interval(1, 35).min_distance(Interval(37, 99)) == 2
+        assert Interval(37, 99).min_distance(Interval(1, 35)) == 2
+
+    def test_min_distance_overlap_is_zero(self):
+        assert Interval(1, 40).min_distance(Interval(35, 37)) == 0
+
+    def test_min_distance_touching_half_open(self):
+        # Supremum of [1,35) touches infimum of [35,37): infimum distance 0.
+        assert Interval(1, 35).min_distance(Interval(35, 37)) == 0
+
+    def test_max_distance(self):
+        assert Interval(35, 37).max_distance(Interval(35, 37)) == 2
+        assert Interval(1, 35).max_distance(Interval(35, 37)) == 36
+
+    def test_point_distances(self):
+        assert Interval.point(35).max_distance(Interval(1, 35)) == 34
+        assert Interval.point(10).min_distance(Interval.point(4)) == 6
+
+    def test_str(self):
+        assert str(Interval(35, 37)) == "[35-37)"
+        assert str(Interval.point(4)) == "4"
+
+    @given(
+        st.tuples(st.integers(-50, 50), st.integers(0, 40)),
+        st.tuples(st.integers(-50, 50), st.integers(0, 40)),
+    )
+    def test_min_max_bound_sampled_distances(self, left_spec, right_spec):
+        """min_distance <= |v - w| <= max_distance for sampled v, w."""
+        left = Interval(left_spec[0], left_spec[0] + left_spec[1])
+        right = Interval(right_spec[0], right_spec[0] + right_spec[1])
+        lower = left.min_distance(right)
+        upper = left.max_distance(right)
+        assert lower <= upper
+        samples_left = [left.lo, left.midpoint] + (
+            [] if left.is_point else [left.hi - 0.25]
+        )
+        samples_right = [right.lo, right.midpoint] + (
+            [] if right.is_point else [right.hi - 0.25]
+        )
+        for v in samples_left:
+            for w in samples_right:
+                assert lower - 1e-9 <= abs(v - w) <= upper + 1e-9
+
+
+class TestCategoricalHierarchy:
+    def test_root_and_height(self, education):
+        assert education.root == "ANY"
+        assert education.height == 3
+
+    def test_leaves(self, education):
+        assert set(education.leaves) == {
+            "9th", "10th", "11th", "12th", "Bachelors", "Masters", "Doctorate",
+        }
+
+    def test_unbalanced_leaf(self, education):
+        assert education.is_leaf("Bachelors")
+        assert education.depth_of("Bachelors") == 2
+        assert education.depth_of("Masters") == 3
+
+    def test_leaf_set(self, education):
+        assert education.leaf_set("Senior Sec.") == {"11th", "12th"}
+        assert education.leaf_set("University") == {
+            "Bachelors", "Masters", "Doctorate",
+        }
+        assert education.leaf_set("Masters") == {"Masters"}
+
+    def test_parent_child_navigation(self, education):
+        assert education.parent_of("ANY") is None
+        assert education.parent_of("Masters") == "Grad School"
+        assert education.children_of("Junior Sec.") == ("9th", "10th")
+
+    def test_generalize(self, education):
+        assert education.generalize("Masters", 0) == "ANY"
+        assert education.generalize("Masters", 1) == "University"
+        assert education.generalize("Masters", 2) == "Grad School"
+        assert education.generalize("Masters", 3) == "Masters"
+        # Clamped: Bachelors lives at depth 2.
+        assert education.generalize("Bachelors", 3) == "Bachelors"
+
+    def test_generalize_negative_depth(self, education):
+        with pytest.raises(HierarchyError):
+            education.generalize("Masters", -1)
+
+    def test_path_to_root(self, education):
+        assert education.path_to_root("9th") == [
+            "9th", "Junior Sec.", "Secondary", "ANY",
+        ]
+
+    def test_unknown_node(self, education):
+        with pytest.raises(HierarchyError):
+            education.leaf_set("PhD")
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(HierarchyError):
+            CategoricalHierarchy("bad", {"ANY": {"A": ["x"], "B": ["x"]}})
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(HierarchyError):
+            CategoricalHierarchy("bad", {"A": [], "B": []})
+
+    def test_leaf_set_partition_invariant(self, education):
+        """Children's leaf sets partition the parent's leaf set."""
+        for node in education.nodes:
+            children = education.children_of(node)
+            if not children:
+                continue
+            union = set()
+            for child in children:
+                child_set = education.leaf_set(child)
+                assert union.isdisjoint(child_set)
+                union |= child_set
+            assert union == education.leaf_set(node)
+
+
+class TestIntervalHierarchy:
+    @pytest.fixture(scope="class")
+    def work_hrs(self):
+        return IntervalHierarchy.from_tree(
+            "work_hrs", (1, 99, [(1, 37, [(1, 35), (35, 37)]), (37, 99)])
+        )
+
+    def test_root_and_range(self, work_hrs):
+        assert work_hrs.root == Interval(1, 99)
+        assert work_hrs.domain_range == 98
+
+    def test_leaves_sorted(self, work_hrs):
+        assert work_hrs.leaves == (
+            Interval(1, 35), Interval(35, 37), Interval(37, 99),
+        )
+
+    def test_leaf_for(self, work_hrs):
+        assert work_hrs.leaf_for(36) == Interval(35, 37)
+        assert work_hrs.leaf_for(1) == Interval(1, 35)
+        assert work_hrs.leaf_for(99) == Interval(37, 99)  # upper bound
+
+    def test_leaf_for_out_of_domain(self, work_hrs):
+        with pytest.raises(HierarchyError):
+            work_hrs.leaf_for(200)
+
+    def test_generalize(self, work_hrs):
+        assert work_hrs.generalize(36, 2) == Interval(35, 37)
+        assert work_hrs.generalize(36, 1) == Interval(1, 37)
+        assert work_hrs.generalize(36, 0) == Interval(1, 99)
+        # Leaf [37,99) sits at depth 1; deeper requests clamp to it.
+        assert work_hrs.generalize(50, 2) == Interval(37, 99)
+
+    def test_child_escaping_parent_rejected(self):
+        with pytest.raises(HierarchyError):
+            IntervalHierarchy.from_tree("bad", (0, 10, [(5, 20)]))
+
+    def test_equi_width_shape(self):
+        hierarchy = IntervalHierarchy.equi_width("age", 17, 91, 8, levels=3)
+        assert hierarchy.root == Interval(17, 91)
+        assert len(hierarchy.leaves) == 9
+        assert all(leaf.width >= 8 for leaf in hierarchy.leaves)
+        # 4 levels total: root at 0, leaves at depth 3.
+        assert hierarchy.height == 3
+
+    def test_equi_width_tiles_domain(self):
+        hierarchy = IntervalHierarchy.equi_width("x", 0, 100, 10, levels=4)
+        leaves = hierarchy.leaves
+        assert leaves[0].lo == 0
+        assert leaves[-1].hi == 100
+        for first, second in zip(leaves, leaves[1:]):
+            assert first.hi == second.lo
+
+    def test_equi_width_parent_covers_children(self):
+        hierarchy = IntervalHierarchy.equi_width("x", 0, 70, 8, levels=3)
+        for node in hierarchy.nodes:
+            for child in hierarchy.children_of(node):
+                assert node.covers(child)
+
+    def test_equi_width_bad_args(self):
+        with pytest.raises(HierarchyError):
+            IntervalHierarchy.equi_width("x", 0, 10, 0, levels=2)
+        with pytest.raises(HierarchyError):
+            IntervalHierarchy.equi_width("x", 0, 10, 2, levels=0)
+
+    def test_path_to_root(self, work_hrs):
+        path = work_hrs.path_to_root(Interval(35, 37))
+        assert path == [Interval(35, 37), Interval(1, 37), Interval(1, 99)]

@@ -1,0 +1,136 @@
+"""Tests for JSON hierarchy catalogs."""
+
+import pytest
+
+from repro.data.hierarchies import adult_hierarchies, toy_work_hrs_vgh
+from repro.data.strings import PrefixHierarchy
+from repro.data.vgh import CategoricalHierarchy, Interval, IntervalHierarchy
+from repro.data.vgh_io import (
+    catalog_from_json,
+    catalog_to_json,
+    hierarchy_from_spec,
+    hierarchy_to_spec,
+    load_catalog,
+    save_catalog,
+)
+from repro.errors import HierarchyError
+
+
+class TestRoundTrips:
+    def test_categorical_round_trip(self):
+        original = adult_hierarchies()["education"]
+        spec = hierarchy_to_spec(original)
+        rebuilt = hierarchy_from_spec("education", spec)
+        assert isinstance(rebuilt, CategoricalHierarchy)
+        assert set(rebuilt.leaves) == set(original.leaves)
+        assert rebuilt.height == original.height
+        for node in original.nodes:
+            assert rebuilt.leaf_set(node) == original.leaf_set(node)
+
+    def test_interval_round_trip(self):
+        original = toy_work_hrs_vgh()
+        spec = hierarchy_to_spec(original)
+        rebuilt = hierarchy_from_spec("work_hrs", spec)
+        assert isinstance(rebuilt, IntervalHierarchy)
+        assert rebuilt.root == original.root
+        assert rebuilt.leaves == original.leaves
+        assert rebuilt.parent_of(Interval(35, 37)) == Interval(1, 37)
+
+    def test_equi_width_round_trip(self):
+        original = adult_hierarchies()["age"]
+        rebuilt = hierarchy_from_spec("age", hierarchy_to_spec(original))
+        assert rebuilt.leaves == original.leaves
+        assert rebuilt.height == original.height
+
+    def test_prefix_round_trip(self):
+        original = PrefixHierarchy("surname", max_length=12)
+        rebuilt = hierarchy_from_spec("surname", hierarchy_to_spec(original))
+        assert isinstance(rebuilt, PrefixHierarchy)
+        assert rebuilt.max_length == 12
+
+    def test_full_catalog_round_trip(self):
+        catalog = adult_hierarchies()
+        catalog["surname"] = PrefixHierarchy("surname", max_length=20)
+        text = catalog_to_json(catalog)
+        rebuilt = catalog_from_json(text)
+        assert set(rebuilt) == set(catalog)
+        assert rebuilt["age"].leaves == catalog["age"].leaves
+
+    def test_file_round_trip(self, tmp_path):
+        catalog = {"work_hrs": toy_work_hrs_vgh()}
+        path = str(tmp_path / "catalog.json")
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert loaded["work_hrs"].root == Interval(1, 99)
+
+
+class TestErrors:
+    def test_missing_type(self):
+        with pytest.raises(HierarchyError):
+            hierarchy_from_spec("x", {"tree": {}})
+
+    def test_unknown_type(self):
+        with pytest.raises(HierarchyError):
+            hierarchy_from_spec("x", {"type": "fractal"})
+
+    def test_invalid_json(self):
+        with pytest.raises(HierarchyError):
+            catalog_from_json("not json {")
+
+    def test_non_object_json(self):
+        with pytest.raises(HierarchyError):
+            catalog_from_json("[1, 2]")
+
+
+class TestLinkCliIntegration:
+    def test_link_with_custom_hierarchies(self, tmp_path, capsys):
+        from repro.data.adult import generate_adult
+        from repro.data.partition import build_linkage_pair
+        from repro.tools.link_cli import main
+
+        relation = generate_adult(300, seed=71)
+        pair = build_linkage_pair(relation, seed=72)
+        left_path = str(tmp_path / "l.csv")
+        right_path = str(tmp_path / "r.csv")
+        pair.left.write_csv(left_path)
+        pair.right.write_csv(right_path)
+        catalog_path = str(tmp_path / "catalog.json")
+        catalog = adult_hierarchies()
+        save_catalog(
+            {"age": catalog["age"], "education": catalog["education"]},
+            catalog_path,
+        )
+        code = main(
+            [
+                left_path,
+                right_path,
+                "--attr", "age=continuous:0.05",
+                "--attr", "education=categorical:0.5",
+                "--hierarchies", catalog_path,
+                "--k", "4",
+            ]
+        )
+        assert code == 0
+        assert "blocking efficiency" in capsys.readouterr().out
+
+    def test_link_rejects_wrong_kind_hierarchy(self, tmp_path, capsys):
+        from repro.data.adult import generate_adult
+        from repro.tools.link_cli import main
+
+        relation = generate_adult(60, seed=73)
+        left_path = str(tmp_path / "l.csv")
+        right_path = str(tmp_path / "r.csv")
+        relation.write_csv(left_path)
+        relation.write_csv(right_path)
+        catalog_path = str(tmp_path / "catalog.json")
+        save_catalog({"age": adult_hierarchies()["education"]}, catalog_path)
+        code = main(
+            [
+                left_path,
+                right_path,
+                "--attr", "age=continuous:0.05",
+                "--hierarchies", catalog_path,
+            ]
+        )
+        assert code == 1
+        assert "not continuous" in capsys.readouterr().err
