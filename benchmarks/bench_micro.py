@@ -4,15 +4,29 @@ These are classic pytest-benchmark targets (many rounds, statistics):
 Paillier operations, the slack decision rule, the blocking engine and the
 ground-truth oracle. They put concrete per-operation numbers behind the
 cost-model discussion in DESIGN.md.
+
+``TestBlockingEngines`` additionally races the scalar and numpy blocking
+engines over synthetic corpora at several class-count scales and appends
+the measurements to ``BENCH_blocking.json`` at the repository root
+(override the path with ``REPRO_BENCH_BLOCKING_OUT``), so the perf
+trajectory of the vectorized kernel is tracked across PRs.
 """
 
+import gc
+import json
+import os
+import platform
 import random
+from pathlib import Path
 
 import pytest
 
+from repro.anonymize.base import EquivalenceClass, GeneralizedRelation
 from repro.crypto.paillier import PaillierKeyPair
-from repro.data.vgh import Interval
+from repro.data.schema import Attribute, Relation, Schema
+from repro.data.vgh import CategoricalHierarchy, Interval, IntervalHierarchy
 from repro.linkage.blocking import block
+from repro.linkage.distances import MatchAttribute, MatchRule
 from repro.linkage.slack import slack_decision
 
 
@@ -60,6 +74,19 @@ class TestLinkageMicro:
         )
         assert result.total_pairs == data.pair.total_pairs
 
+    def test_blocking_step_numpy(self, benchmark, data):
+        rule = data.rule()
+        left, right = data.anonymized()
+        result = benchmark.pedantic(
+            block,
+            args=(rule, left, right),
+            kwargs={"engine": "numpy"},
+            rounds=3,
+            iterations=1,
+        )
+        assert result.engine == "numpy"
+        assert result.total_pairs == data.pair.total_pairs
+
     def test_ground_truth_oracle(self, benchmark, data):
         from repro.linkage.ground_truth import GroundTruth
 
@@ -93,3 +120,161 @@ class TestLinkageMicro:
             rounds=5,
             iterations=1,
         )
+
+
+# ---------------------------------------------------------------------------
+# Blocking-engine race: scalar loop vs numpy kernel, tracked across PRs.
+# ---------------------------------------------------------------------------
+
+#: (left classes, right classes) per scale; the largest carries the
+#: acceptance assertion on the vectorized kernel's speedup. Quick mode
+#: (``REPRO_BENCH_BLOCKING_QUICK=1``, used by the CI smoke job) runs only
+#: the smallest scale and drops the floor assertion — shared runners are
+#: too noisy for a ratio guarantee.
+BLOCKING_QUICK = os.environ.get("REPRO_BENCH_BLOCKING_QUICK") == "1"
+BLOCKING_SCALES = (
+    ((150, 150),) if BLOCKING_QUICK else ((150, 150), (500, 500), (1500, 1500))
+)
+SPEEDUP_FLOOR_AT_LARGEST = 10.0
+
+_BENCH_EDUCATION = CategoricalHierarchy(
+    "education",
+    {"ANY": {f"G{g}": [f"v{g}_{i}" for i in range(5)] for g in range(6)}},
+)
+_BENCH_AGE = IntervalHierarchy.equi_width("age", 0.0, 256.0, 8.0, levels=4)
+_BENCH_HIERARCHIES = {"education": _BENCH_EDUCATION, "age": _BENCH_AGE}
+_BENCH_SCHEMA = Schema(
+    [Attribute.categorical("education"), Attribute.continuous("age")]
+)
+_BENCH_QIDS = ("education", "age")
+
+
+_BENCH_EDU_LEAVES = tuple(f"v{g}_{i}" for g in range(6) for i in range(5))
+_BENCH_EDU_GROUPS = tuple(f"G{g}" for g in range(6))
+_BENCH_AGE_LEAVES = tuple(
+    node for node in _BENCH_AGE.nodes if node.width <= 8.0
+) + tuple(Interval.point(float(value)) for value in range(0, 256, 3))
+_BENCH_AGE_MIDS = tuple(
+    node for node in _BENCH_AGE.nodes if 8.0 < node.width <= 64.0
+)
+
+
+def _synthetic_generalized(n_classes: int, seed: int) -> GeneralizedRelation:
+    """A random generalized relation with *n_classes* equivalence classes.
+
+    The level mix mirrors the paper's operating regime: most classes sit
+    at leaf/point generalizations (high blocking efficiency), a minority
+    at mid levels and a few at the root, so the verdict tables contain all
+    three labels. Class size is fixed at 4 records.
+    """
+    rng = random.Random(seed)
+    classes = []
+    for index in range(n_classes):
+        level = rng.random()
+        if level < 0.85:
+            sequence = (
+                rng.choice(_BENCH_EDU_LEAVES),
+                rng.choice(_BENCH_AGE_LEAVES),
+            )
+        elif level < 0.97:
+            sequence = (
+                rng.choice(_BENCH_EDU_GROUPS),
+                rng.choice(_BENCH_AGE_MIDS),
+            )
+        else:
+            sequence = ("ANY", rng.choice(_BENCH_AGE.nodes))
+        classes.append(
+            EquivalenceClass(sequence, tuple(range(index * 4, index * 4 + 4)))
+        )
+    source = Relation(_BENCH_SCHEMA, [("v0_0", 1.0)] * (n_classes * 4))
+    return GeneralizedRelation(
+        source, _BENCH_QIDS, _BENCH_HIERARCHIES, classes, k=1
+    )
+
+
+def _bench_rule() -> MatchRule:
+    return MatchRule(
+        [
+            MatchAttribute("education", _BENCH_EDUCATION, 0.5),
+            MatchAttribute("age", _BENCH_AGE, 0.05),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def blocking_engine_results():
+    """Collects per-scale measurements; writes the JSON file on teardown."""
+    results = []
+    yield results
+    if not results:
+        return
+    payload = {
+        "benchmark": "blocking-engines",
+        "python_version": platform.python_version(),
+        "scales": results,
+    }
+    out = os.environ.get(
+        "REPRO_BENCH_BLOCKING_OUT",
+        str(Path(__file__).resolve().parent.parent / "BENCH_blocking.json"),
+    )
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+class TestBlockingEngines:
+    @pytest.mark.parametrize(
+        "scale", BLOCKING_SCALES, ids=lambda scale: f"{scale[0]}x{scale[1]}"
+    )
+    def test_engine_race(self, scale, blocking_engine_results):
+        n_left, n_right = scale
+        left = _synthetic_generalized(n_left, seed=100 + n_left)
+        right = _synthetic_generalized(n_right, seed=200 + n_right)
+        rule = _bench_rule()
+        # Keep the collector out of the timed regions: both engines allocate
+        # tens of thousands of ClassPair objects per run, and a gen-2 pass
+        # landing inside one engine's run would skew the ratio.
+        gc.collect()
+        gc.disable()
+        try:
+            scalar = min(
+                (block(rule, left, right, engine="python") for _ in range(2)),
+                key=lambda result: result.elapsed_seconds,
+            )
+            vectorized = min(
+                (block(rule, left, right, engine="numpy") for _ in range(5)),
+                key=lambda result: result.elapsed_seconds,
+            )
+        finally:
+            gc.enable()
+        # Parity sanity before trusting the timings.
+        assert scalar.nonmatch_pairs == vectorized.nonmatch_pairs
+        assert len(scalar.matched) == len(vectorized.matched)
+        assert len(scalar.unknown) == len(vectorized.unknown)
+        class_pairs = n_left * n_right
+        speedup = scalar.elapsed_seconds / max(
+            vectorized.elapsed_seconds, 1e-12
+        )
+        blocking_engine_results.append(
+            {
+                "left_classes": n_left,
+                "right_classes": n_right,
+                "class_pairs": class_pairs,
+                "record_pairs": scalar.total_pairs,
+                "unknown_class_pairs": len(scalar.unknown),
+                "python": {
+                    "seconds": scalar.elapsed_seconds,
+                    "class_pairs_per_sec": class_pairs / scalar.elapsed_seconds,
+                },
+                "numpy": {
+                    "seconds": vectorized.elapsed_seconds,
+                    "class_pairs_per_sec": class_pairs
+                    / max(vectorized.elapsed_seconds, 1e-12),
+                },
+                "speedup": speedup,
+            }
+        )
+        if scale == BLOCKING_SCALES[-1] and not BLOCKING_QUICK:
+            assert speedup >= SPEEDUP_FLOOR_AT_LARGEST, (
+                f"numpy engine only {speedup:.1f}x faster at {scale}"
+            )

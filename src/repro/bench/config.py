@@ -62,6 +62,8 @@ class BenchConfig:
     theta: float = DEFAULT_THETA
     allowance: float = DEFAULT_ALLOWANCE
     qid_count: int = DEFAULT_QID_COUNT
+    #: Blocking/scoring engine for the sweeps ("auto", "python", "numpy").
+    engine: str = "auto"
 
     def qids(self, count: int | None = None) -> tuple[str, ...]:
         """The paper's top-q QID set."""
@@ -142,18 +144,25 @@ class ExperimentData:
         theta: float | None = None,
         qid_count: int | None = None,
         algorithm: str = "maxent",
+        engine: str | None = None,
     ):
-        """Blocking result for a sweep point, cached."""
+        """Blocking result for a sweep point, cached.
+
+        *engine* overrides the config's engine for one sweep point (used
+        by the engine-comparison benchmarks); results are cached per
+        engine, though every engine produces identical decisions.
+        """
         from repro.linkage.blocking import block
 
         k = self.config.k if k is None else k
         theta = self.config.theta if theta is None else theta
+        engine = self.config.engine if engine is None else engine
         qids = self.config.qids(qid_count)
-        key = (k, theta, qids, algorithm)
+        key = (k, theta, qids, algorithm, engine)
         if key not in self._blocking:
             left, right = self.anonymized(k, qid_count, algorithm)
             self._blocking[key] = block(
-                self.rule(theta, qid_count), left, right
+                self.rule(theta, qid_count), left, right, engine=engine
             )
         return self._blocking[key]
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 import abc
 import random
 
+import numpy as np
+
 from repro.crypto.paillier import PaillierKeyPair
 from repro.crypto.smc.channel import SMCSession
 from repro.crypto.smc.comparison import secure_within_threshold
@@ -118,17 +120,13 @@ class CountingPlaintextOracle(SMCOracle):
             for attribute in self.rule
         ):
             return super().compare_block(left_records, right_records, take)
-        import numpy as np
-
         right_count = len(right_records)
         if take <= 0 or right_count == 0 or not left_records:
             return []
         full_rows, remainder = divmod(take, right_count)
         rows = min(full_rows + (1 if remainder else 0), len(left_records))
         matches_matrix = np.ones((rows, right_count), dtype=bool)
-        for attribute, position in zip(
-            self.rule, self.bound._positions
-        ):
+        for attribute, position in zip(self.rule, self.bound.positions):
             left_column = [
                 left_records[row][position] for row in range(rows)
             ]
@@ -190,10 +188,9 @@ class PaillierSMCOracle(SMCOracle):
         self._key_pair = PaillierKeyPair.generate(key_bits, rng)
         self.session = SMCSession(self._key_pair, precision=precision, rng=rng)
         self.hide_distances = hide_distances
-        self._positions = schema.positions(rule.names)
 
     def _compare(self, left: Record, right: Record) -> bool:
-        for attribute, position in zip(self.rule, self._positions):
+        for attribute, position in zip(self.rule, self.bound.positions):
             left_value = left[position]
             right_value = right[position]
             if attribute.is_continuous:

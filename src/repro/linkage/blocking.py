@@ -7,7 +7,7 @@ on the generalization sequences, a single decision covers
 "we do not need to repeat the process for pairs generalized to the same
 sequences" taken to its logical end.
 
-Two implementation notes:
+Three implementation notes:
 
 - per attribute, the number of *distinct* generalized values is far smaller
   than the number of classes, so attribute-level slack verdicts are
@@ -15,7 +15,15 @@ Two implementation notes:
   lookups;
 - non-match class pairs are only counted (there can be hundreds of
   thousands); match and unknown class pairs are kept, since the SMC step
-  and the result reporting need them.
+  and the result reporting need them;
+- two interchangeable engines evaluate the class-pair cross product: the
+  scalar reference loop (``engine="python"``) and a numpy kernel
+  (``engine="numpy"``) that encodes distinct values as integer codes,
+  turns the verdict tables into dense matrices and evaluates whole chunks
+  of the cross product with fancy indexing + boolean reductions (see
+  :mod:`repro.linkage.codes` and DESIGN.md). ``engine="auto"`` picks the
+  kernel above a class-pair threshold. Both engines produce bit-identical
+  results — the parity test suite enforces it.
 """
 
 from __future__ import annotations
@@ -28,6 +36,53 @@ from repro.errors import ConfigurationError
 from repro.linkage.distances import MatchRule
 from repro.linkage.expected import normalized_expected_distance
 from repro.linkage.slack import attribute_slack
+
+#: Recognized values of the ``engine`` parameter.
+ENGINES = ("auto", "python", "numpy")
+
+#: ``engine="auto"`` switches to the numpy kernel at this many class pairs.
+#: Below it the kernel's array setup outweighs the scalar loop's cost.
+AUTO_NUMPY_THRESHOLD = 10_000
+
+#: Chunk budget for the numpy kernel: at most this many cross-product cells
+#: are materialized at once per per-attribute intermediate (uint8/bool), so
+#: peak extra memory is a few multiples of this, independent of corpus size.
+DEFAULT_CHUNK_CELLS = 1 << 22
+
+
+def numpy_available() -> bool:
+    """True when the numpy kernel can run in this environment."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return False
+    return True
+
+
+def resolve_engine(engine: str, class_pairs: int) -> str:
+    """Resolve an ``engine`` argument to ``"python"`` or ``"numpy"``.
+
+    ``"auto"`` picks numpy when it is importable and the workload reaches
+    :data:`AUTO_NUMPY_THRESHOLD` class pairs; an explicit ``"numpy"``
+    without numpy installed is a configuration error.
+    """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    if engine == "python":
+        return "python"
+    available = numpy_available()
+    if engine == "numpy":
+        if not available:  # pragma: no cover - numpy is a hard dependency
+            raise ConfigurationError(
+                "engine='numpy' requires numpy; install it or use "
+                "engine='python'"
+            )
+        return "numpy"
+    if available and class_pairs >= AUTO_NUMPY_THRESHOLD:
+        return "numpy"
+    return "python"
 
 
 @dataclass(frozen=True)
@@ -63,6 +118,8 @@ class BlockingResult:
     unknown: list[ClassPair] = field(default_factory=list)
     nonmatch_pairs: int = 0
     elapsed_seconds: float = 0.0
+    #: Which engine produced this result ("python" or "numpy").
+    engine: str = "python"
 
     @property
     def matched_pairs(self) -> int:
@@ -144,21 +201,49 @@ def block(
     rule: MatchRule,
     left: GeneralizedRelation,
     right: GeneralizedRelation,
+    *,
+    engine: str = "auto",
+    chunk_cells: int = DEFAULT_CHUNK_CELLS,
 ) -> BlockingResult:
-    """Run the blocking step over two anonymized relations."""
+    """Run the blocking step over two anonymized relations.
+
+    *engine* selects the cross-product evaluator (see :data:`ENGINES` and
+    :func:`resolve_engine`); *chunk_cells* bounds the numpy kernel's peak
+    intermediate size. Both engines return bit-identical results: the same
+    ``matched`` / ``unknown`` class pairs in the same order and the same
+    ``nonmatch_pairs`` count.
+    """
     for name in rule.names:
         if name not in left.qids or name not in right.qids:
             raise ConfigurationError(
                 f"rule attribute {name!r} is not a QID of both relations; "
                 f"left={left.qids}, right={right.qids}"
             )
+    resolved = resolve_engine(engine, len(left.classes) * len(right.classes))
     started = time.perf_counter()
+    result = BlockingResult(
+        rule=rule,
+        total_pairs=len(left.source) * len(right.source),
+        engine=resolved,
+    )
+    if resolved == "numpy":
+        _block_numpy(rule, left, right, result, chunk_cells)
+    else:
+        _block_python(rule, left, right, result)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def _block_python(
+    rule: MatchRule,
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    result: BlockingResult,
+) -> None:
+    """The scalar reference engine: memoized dict lookups per class pair."""
     left_positions = [left.qids.index(name) for name in rule.names]
     right_positions = [right.qids.index(name) for name in rule.names]
     tables = _attribute_verdicts(rule, left, right, left_positions, right_positions)
-    result = BlockingResult(
-        rule=rule, total_pairs=len(left.source) * len(right.source)
-    )
     # Right-side per-attribute value vectors, extracted once.
     right_columns = [
         [
@@ -202,8 +287,100 @@ def block(
             else:
                 unknown.append(ClassPair(left_class, right_classes[right_index]))
     result.nonmatch_pairs = nonmatch_pairs
-    result.elapsed_seconds = time.perf_counter() - started
-    return result
+
+
+def _block_numpy(
+    rule: MatchRule,
+    left: GeneralizedRelation,
+    right: GeneralizedRelation,
+    result: BlockingResult,
+    chunk_cells: int,
+) -> None:
+    """The vectorized engine: codes + verdict matrices + chunked reductions.
+
+    Per attribute the verdict matrix is split into two boolean tables
+    (``verdict == 1`` and ``verdict == 2``) and, when the result fits the
+    *chunk_cells* budget, column-gathered over the right classes once —
+    after that every chunk of left classes needs only single-axis row
+    gathers, which are far cheaper than a broadcast ``[rows, cols]`` fancy
+    index. Left classes are processed in chunks sized so the
+    ``(rows, n_right)`` intermediates stay within *chunk_cells* cells; per
+    chunk the per-attribute tables reduce into ``nonmatch = any(v == 1)``
+    / ``match = all(v == 2)`` masks. Non-match mass is accumulated as the
+    bilinear form ``left_sizes @ mask @ right_sizes`` without
+    materializing pairs; matched/unknown class pairs come out of
+    ``np.nonzero`` in row-major order — exactly the scalar engine's
+    append order.
+    """
+    import numpy as np
+
+    from repro.linkage.codes import CodeTables
+
+    left_classes = left.classes
+    right_classes = right.classes
+    right_count = len(right_classes)
+    if not left_classes or not right_count:
+        return
+    tables = CodeTables(rule, left, right)
+    left_codes = tables.left_codes
+    left_sizes = tables.left_sizes
+    right_sizes = tables.right_sizes
+    # Per attribute: (nonmatch_table, match_table, right_codes_or_None).
+    # A None third element means the tables are already column-gathered to
+    # ``(left_values, n_right)``; otherwise they stay in value space
+    # (too large to expand within the cell budget) and each chunk gathers
+    # columns after rows.
+    attribute_tables = []
+    for attr_position, r_codes in enumerate(tables.right_codes):
+        verdict_matrix = tables.verdict_matrix(attr_position)
+        nonmatch_table = verdict_matrix == 1
+        match_table = verdict_matrix == 2
+        if nonmatch_table.shape[0] * right_count <= chunk_cells:
+            attribute_tables.append(
+                (nonmatch_table[:, r_codes], match_table[:, r_codes], None)
+            )
+        else:
+            attribute_tables.append((nonmatch_table, match_table, r_codes))
+    left_array = np.empty(len(left_classes), dtype=object)
+    left_array[:] = left_classes
+    right_array = np.empty(right_count, dtype=object)
+    right_array[:] = right_classes
+    rows_per_chunk = max(1, chunk_cells // right_count)
+    nonmatch_total = 0
+    matched = result.matched
+    unknown = result.unknown
+    for start in range(0, len(left_classes), rows_per_chunk):
+        stop = min(start + rows_per_chunk, len(left_classes))
+        nonmatch = None
+        all_match = None
+        for (nonmatch_table, match_table, r_codes), l_codes in zip(
+            attribute_tables, left_codes
+        ):
+            rows = l_codes[start:stop]
+            if r_codes is None:
+                nonmatch_chunk = nonmatch_table[rows]
+                match_chunk = match_table[rows]
+            else:
+                nonmatch_chunk = nonmatch_table[rows][:, r_codes]
+                match_chunk = match_table[rows][:, r_codes]
+            if nonmatch is None:
+                # Fancy indexing copies, so in-place |=/&= below is safe.
+                nonmatch = nonmatch_chunk
+                all_match = match_chunk
+            else:
+                nonmatch |= nonmatch_chunk
+                all_match &= match_chunk
+        nonmatch_total += int(left_sizes[start:stop] @ (nonmatch @ right_sizes))
+        undecided = ~(nonmatch | all_match)
+        match_rows, match_cols = np.nonzero(all_match)
+        matched.extend(
+            map(ClassPair, left_array[start + match_rows], right_array[match_cols])
+        )
+        unknown_rows, unknown_cols = np.nonzero(undecided)
+        unknown.extend(
+            map(ClassPair, left_array[start + unknown_rows], right_array[unknown_cols])
+        )
+    result.nonmatch_pairs = nonmatch_total
 
 
 class ExpectedDistanceCache:

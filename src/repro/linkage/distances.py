@@ -200,6 +200,11 @@ class BoundMatchRule:
         self._continuous = tuple(attribute.is_continuous for attribute in rule)
         self._string = tuple(attribute.is_string for attribute in rule)
 
+    @property
+    def positions(self) -> tuple[int, ...]:
+        """Schema column positions of the rule's attributes, in rule order."""
+        return self._positions
+
     def project(self, record: Record) -> tuple:
         """Extract the rule's attribute values from *record*, in rule order."""
         return tuple(record[position] for position in self._positions)

@@ -99,3 +99,22 @@ def expected_distance_vector(
         normalized_expected_distance(attribute, left, right)
         for attribute, left, right in zip(attributes, left_sequence, right_sequence)
     )
+
+
+def pairwise_expected_distances(attribute: MatchAttribute, left_values, right_values):
+    """Dense ``E[i, j]`` table over two distinct-value lists.
+
+    The expected-distance matrix the vectorized engines gather from (see
+    :mod:`repro.linkage.codes`). Entries are exactly the values
+    :func:`normalized_expected_distance` returns, so vectorized scores are
+    bit-identical to the scalar cache's.
+    """
+    import numpy as np
+
+    matrix = np.empty((len(left_values), len(right_values)), dtype=np.float64)
+    for row, left in enumerate(left_values):
+        for column, right in enumerate(right_values):
+            matrix[row, column] = normalized_expected_distance(
+                attribute, left, right
+            )
+    return matrix

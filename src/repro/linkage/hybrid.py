@@ -31,7 +31,7 @@ from repro.anonymize.base import GeneralizedRelation
 from repro.crypto.smc.oracle import CountingPlaintextOracle, SMCOracle
 from repro.data.schema import Schema
 from repro.errors import ConfigurationError
-from repro.linkage.blocking import BlockingResult, ClassPair, block
+from repro.linkage.blocking import ENGINES, BlockingResult, ClassPair, block
 from repro.linkage.distances import MatchRule
 from repro.linkage.heuristics import MinAvgFirst, SelectionHeuristic
 from repro.linkage.strategies import (
@@ -62,6 +62,11 @@ class LinkageConfig:
     oracle_factory:
         Builds the SMC backend; defaults to the counted plaintext oracle
         (exact answers, real invoices — see DESIGN.md §4).
+    engine:
+        Cross-product evaluation engine for blocking and class-pair
+        scoring: ``"auto"`` (default; numpy above a workload threshold),
+        ``"python"`` (scalar reference), or ``"numpy"`` (vectorized
+        kernel). Engines are decision- and score-equivalent.
     """
 
     rule: MatchRule
@@ -69,11 +74,16 @@ class LinkageConfig:
     heuristic: SelectionHeuristic = field(default_factory=MinAvgFirst)
     strategy: LeftoverStrategy = field(default_factory=MaximizePrecision)
     oracle_factory: OracleFactory = CountingPlaintextOracle
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.allowance <= 1.0:
             raise ConfigurationError(
                 f"SMC allowance {self.allowance} must be a fraction in [0, 1]"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
             )
         if (
             self.strategy.requires_random_selection
@@ -99,6 +109,15 @@ class LinkageResult:
     claimed: list[ClassPair]
     attribute_comparisons: int = 0
     elapsed_seconds: float = 0.0
+    _observations_by_id: dict[int, SMCObservation] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._observations_by_id = {
+            id(observation.pair): observation
+            for observation in self.observations
+        }
 
     @property
     def blocked_match_pairs(self) -> int:
@@ -116,11 +135,6 @@ class LinkageResult:
         return self.blocked_match_pairs + self.smc_match_count
 
     def _observation_index(self) -> dict[int, SMCObservation]:
-        if not hasattr(self, "_observations_by_id"):
-            self._observations_by_id = {
-                id(observation.pair): observation
-                for observation in self.observations
-            }
         return self._observations_by_id
 
     def compared_in(self, pair: ClassPair) -> int:
@@ -191,7 +205,9 @@ class HybridLinkage:
         """
         if left.source.schema != right.source.schema:
             raise ConfigurationError("input relations must share a schema")
-        blocking = block(self.config.rule, left, right)
+        blocking = block(
+            self.config.rule, left, right, engine=self.config.engine
+        )
         return self.run_from_blocking(blocking, left, right)
 
     def run_from_blocking(
@@ -210,7 +226,7 @@ class HybridLinkage:
         config = self.config
         allowance_pairs = math.floor(config.allowance * blocking.total_pairs)
         ordered = config.heuristic.order(
-            blocking.unknown, config.rule, left, right
+            blocking.unknown, config.rule, left, right, engine=config.engine
         )
         oracle = config.oracle_factory(config.rule, left.source.schema)
         budget = allowance_pairs
@@ -230,7 +246,8 @@ class HybridLinkage:
             if take < pair.size:
                 leftovers.append(pair)
         claimed = config.strategy.claim_matches(
-            leftovers, observations, config.rule, left, right
+            leftovers, observations, config.rule, left, right,
+            engine=config.engine,
         )
         return LinkageResult(
             total_pairs=blocking.total_pairs,

@@ -28,8 +28,9 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.anonymize.base import GeneralizedRelation
-from repro.linkage.blocking import ClassPair, ExpectedDistanceCache
+from repro.linkage.blocking import ClassPair
 from repro.linkage.distances import MatchRule
+from repro.linkage.heuristics import average_expected_scores
 
 
 @dataclass(frozen=True)
@@ -61,8 +62,14 @@ class LeftoverStrategy(abc.ABC):
         rule: MatchRule,
         left: GeneralizedRelation,
         right: GeneralizedRelation,
+        engine: str = "auto",
     ) -> list[ClassPair]:
-        """Return the leftover class pairs to claim (unverified) as matches."""
+        """Return the leftover class pairs to claim (unverified) as matches.
+
+        *engine* selects the scoring backend for strategies that rank
+        class pairs (see :data:`repro.linkage.blocking.ENGINES`); claims
+        are engine-independent.
+        """
 
 
 class MaximizePrecision(LeftoverStrategy):
@@ -70,7 +77,7 @@ class MaximizePrecision(LeftoverStrategy):
 
     name = "maximize-precision"
 
-    def claim_matches(self, leftovers, observations, rule, left, right):
+    def claim_matches(self, leftovers, observations, rule, left, right, engine="auto"):
         return []
 
 
@@ -79,7 +86,7 @@ class MaximizeRecall(LeftoverStrategy):
 
     name = "maximize-recall"
 
-    def claim_matches(self, leftovers, observations, rule, left, right):
+    def claim_matches(self, leftovers, observations, rule, left, right, engine="auto"):
         return list(leftovers)
 
 
@@ -101,33 +108,35 @@ class LearnedClassifier(LeftoverStrategy):
     name = "learned-classifier"
     requires_random_selection = True
 
-    def claim_matches(self, leftovers, observations, rule, left, right):
+    def claim_matches(self, leftovers, observations, rule, left, right, engine="auto"):
         if not observations or not leftovers:
             return []
-        cache = ExpectedDistanceCache(rule, left, right)
-        examples = []  # (score, positives, negatives)
-        for observation in observations:
-            if observation.compared == 0:
-                continue
-            vector = cache.vector(observation.pair)
-            score = sum(vector) / len(vector)
-            examples.append(
-                (
-                    score,
-                    observation.matches,
-                    observation.compared - observation.matches,
-                )
+        trained = [
+            observation for observation in observations if observation.compared
+        ]
+        training_scores = average_expected_scores(
+            [observation.pair for observation in trained],
+            rule, left, right, engine,
+        )
+        examples = [  # (score, positives, negatives)
+            (
+                score,
+                observation.matches,
+                observation.compared - observation.matches,
             )
+            for observation, score in zip(trained, training_scores)
+        ]
         threshold = self._best_threshold(examples)
         if threshold is None:
             return []
-        claimed = []
-        for pair in leftovers:
-            vector = cache.vector(pair)
-            score = sum(vector) / len(vector)
-            if score <= threshold:
-                claimed.append(pair)
-        return claimed
+        leftover_scores = average_expected_scores(
+            leftovers, rule, left, right, engine
+        )
+        return [
+            pair
+            for pair, score in zip(leftovers, leftover_scores)
+            if score <= threshold
+        ]
 
     @staticmethod
     def _best_threshold(examples) -> float | None:

@@ -201,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="anonymization algorithm",
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "python", "numpy"),
+        default="auto",
+        help="blocking/scoring engine (auto switches to the numpy kernel "
+        "on large class-pair workloads; results are identical)",
+    )
+    parser.add_argument(
         "--hierarchies",
         default=None,
         metavar="FILE",
@@ -246,6 +253,7 @@ def main(argv: list[str] | None = None) -> int:
             rule,
             allowance=args.allowance,
             heuristic=heuristic_by_name(args.heuristic),
+            engine=args.engine,
         )
         result = HybridLinkage(config).run(left_gen, right_gen)
     except ReproError as error:

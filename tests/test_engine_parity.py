@@ -1,0 +1,237 @@
+"""Engine parity: the numpy kernel must match the scalar engine exactly.
+
+The vectorized blocking/scoring engine (``engine="numpy"``) is only
+admissible because it is a pure re-implementation: same decisions, same
+counts, same scores, same ordering. These tests pin that contract, both on
+hypothesis-generated random corpora (random equivalence classes over
+categorical, continuous and prefix-string attributes, random thresholds,
+adversarial chunk sizes) and on the shared Adult fixtures.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize import MaxEntropyTDS
+from repro.anonymize.base import EquivalenceClass, GeneralizedRelation
+from repro.data.hierarchies import ADULT_QID_ORDER
+from repro.data.schema import Attribute, Relation, Schema
+from repro.data.strings import PrefixHierarchy
+from repro.data.vgh import CategoricalHierarchy, Interval, IntervalHierarchy
+from repro.errors import ConfigurationError
+from repro.linkage.blocking import (
+    AUTO_NUMPY_THRESHOLD,
+    block,
+    resolve_engine,
+)
+from repro.linkage.distances import MatchAttribute, MatchRule
+from repro.linkage.heuristics import HEURISTICS, average_expected_scores
+
+EDUCATION = CategoricalHierarchy(
+    "education", {"ANY": {"Low": ["a", "b"], "High": ["c", "d", "e"]}}
+)
+HOURS = IntervalHierarchy.equi_width("hours", 0.0, 64.0, 8.0, levels=3)
+NAME = PrefixHierarchy("name", max_length=6)
+HIERARCHIES = {"education": EDUCATION, "hours": HOURS, "name": NAME}
+QIDS = ("education", "hours", "name")
+SCHEMA = Schema(
+    [
+        Attribute.categorical("education"),
+        Attribute.continuous("hours"),
+        Attribute.categorical("name"),
+    ]
+)
+
+CATEGORICAL_NODES = EDUCATION.nodes
+CONTINUOUS_NODES = HOURS.nodes + tuple(
+    Interval.point(float(value)) for value in (0, 7, 13, 40)
+)
+NAME_NODES = ("*", "a*", "ab*", "abc", "abd", "b*", "bc", "bcd*")
+
+
+def _pair_keys(pairs):
+    """Order-sensitive, identity-free rendering of a class-pair list."""
+    return [(pair.left.indices, pair.right.indices) for pair in pairs]
+
+
+@st.composite
+def generalized_relation(draw):
+    """A random GeneralizedRelation over the three-attribute schema."""
+    sizes = draw(st.lists(st.integers(1, 4), min_size=1, max_size=10))
+    source = Relation(SCHEMA, [("a", 1.0, "abc")] * sum(sizes))
+    classes = []
+    start = 0
+    for size in sizes:
+        sequence = (
+            draw(st.sampled_from(CATEGORICAL_NODES)),
+            draw(st.sampled_from(CONTINUOUS_NODES)),
+            draw(st.sampled_from(NAME_NODES)),
+        )
+        classes.append(
+            EquivalenceClass(sequence, tuple(range(start, start + size)))
+        )
+        start += size
+    return GeneralizedRelation(source, QIDS, HIERARCHIES, classes, k=1)
+
+
+@st.composite
+def linkage_case(draw):
+    left = draw(generalized_relation())
+    right = draw(generalized_relation())
+    rule = MatchRule(
+        [
+            MatchAttribute(
+                "education", EDUCATION, draw(st.sampled_from((0.0, 0.5, 1.0)))
+            ),
+            MatchAttribute(
+                "hours", HOURS, draw(st.sampled_from((0.0, 0.05, 0.1, 0.3)))
+            ),
+            MatchAttribute("name", NAME, draw(st.sampled_from((0.0, 1.0, 3.0)))),
+        ]
+    )
+    chunk_cells = draw(st.sampled_from((1, 7, 64, 1 << 22)))
+    return left, right, rule, chunk_cells
+
+
+class TestBlockingParity:
+    @given(case=linkage_case())
+    @settings(max_examples=40, deadline=None)
+    def test_identical_decisions(self, case):
+        left, right, rule, chunk_cells = case
+        scalar = block(rule, left, right, engine="python")
+        vectorized = block(
+            rule, left, right, engine="numpy", chunk_cells=chunk_cells
+        )
+        assert scalar.engine == "python"
+        assert vectorized.engine == "numpy"
+        assert _pair_keys(scalar.matched) == _pair_keys(vectorized.matched)
+        assert _pair_keys(scalar.unknown) == _pair_keys(vectorized.unknown)
+        assert scalar.nonmatch_pairs == vectorized.nonmatch_pairs
+        assert scalar.total_pairs == vectorized.total_pairs
+
+    @given(case=linkage_case())
+    @settings(max_examples=15, deadline=None)
+    def test_heuristic_orderings_agree(self, case):
+        left, right, rule, _ = case
+        unknown = block(rule, left, right, engine="python").unknown
+        for heuristic in HEURISTICS.values():
+            scalar = heuristic.order(unknown, rule, left, right, engine="python")
+            vectorized = heuristic.order(
+                unknown, rule, left, right, engine="numpy"
+            )
+            assert [id(pair) for pair in scalar] == [
+                id(pair) for pair in vectorized
+            ], heuristic.name
+
+    @given(case=linkage_case())
+    @settings(max_examples=15, deadline=None)
+    def test_average_scores_agree(self, case):
+        left, right, rule, _ = case
+        unknown = block(rule, left, right, engine="python").unknown
+        scalar = average_expected_scores(unknown, rule, left, right, "python")
+        vectorized = average_expected_scores(unknown, rule, left, right, "numpy")
+        assert scalar == vectorized  # bit-identical, not approx
+
+    def test_empty_relations(self):
+        empty = GeneralizedRelation(
+            Relation(SCHEMA, []), QIDS, HIERARCHIES, [], k=1
+        )
+        rule = MatchRule(
+            [
+                MatchAttribute("education", EDUCATION, 0.5),
+                MatchAttribute("hours", HOURS, 0.05),
+                MatchAttribute("name", NAME, 0.0),
+            ]
+        )
+        for engine in ("python", "numpy"):
+            result = block(rule, empty, empty, engine=engine)
+            assert result.total_pairs == 0
+            assert result.nonmatch_pairs == 0
+            assert not result.matched and not result.unknown
+            assert result.blocking_efficiency == 1.0
+
+
+class TestAdultCorpusParity:
+    """Parity on the shared Adult fixtures (the acceptance corpus)."""
+
+    @pytest.fixture(scope="class")
+    def generalized_pair(self, adult_pair, adult_hierarchy_catalog):
+        qids = ADULT_QID_ORDER[:5]
+        anonymizer = MaxEntropyTDS(adult_hierarchy_catalog)
+        return (
+            anonymizer.anonymize(adult_pair.left, qids, 16),
+            anonymizer.anonymize(adult_pair.right, qids, 16),
+        )
+
+    def test_blocking_parity(self, adult_rule, generalized_pair):
+        left, right = generalized_pair
+        scalar = block(adult_rule, left, right, engine="python")
+        vectorized = block(adult_rule, left, right, engine="numpy")
+        assert _pair_keys(scalar.matched) == _pair_keys(vectorized.matched)
+        assert _pair_keys(scalar.unknown) == _pair_keys(vectorized.unknown)
+        assert scalar.nonmatch_pairs == vectorized.nonmatch_pairs
+
+    def test_ordering_parity(self, adult_rule, generalized_pair):
+        left, right = generalized_pair
+        unknown = block(adult_rule, left, right, engine="python").unknown
+        assert unknown
+        for heuristic in HEURISTICS.values():
+            scalar = heuristic.order(
+                unknown, adult_rule, left, right, engine="python"
+            )
+            vectorized = heuristic.order(
+                unknown, adult_rule, left, right, engine="numpy"
+            )
+            assert [id(pair) for pair in scalar] == [
+                id(pair) for pair in vectorized
+            ], heuristic.name
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("cython", 10)
+
+    def test_python_is_literal(self):
+        assert resolve_engine("python", 10**9) == "python"
+
+    def test_numpy_is_literal(self):
+        assert resolve_engine("numpy", 0) == "numpy"
+
+    def test_auto_thresholds_on_workload(self):
+        assert resolve_engine("auto", AUTO_NUMPY_THRESHOLD - 1) == "python"
+        assert resolve_engine("auto", AUTO_NUMPY_THRESHOLD) == "numpy"
+
+    def test_block_records_engine(self, toy_rule, toy_generalized):
+        r_prime, s_prime = toy_generalized
+        result = block(toy_rule, r_prime, s_prime)  # tiny: auto -> python
+        assert result.engine == "python"
+        forced = block(toy_rule, r_prime, s_prime, engine="numpy")
+        assert forced.engine == "numpy"
+        assert _pair_keys(result.matched) == _pair_keys(forced.matched)
+        assert _pair_keys(result.unknown) == _pair_keys(forced.unknown)
+        assert result.nonmatch_pairs == forced.nonmatch_pairs
+
+    def test_linkage_config_validates_engine(self, toy_rule):
+        from repro.linkage.hybrid import LinkageConfig
+
+        with pytest.raises(ConfigurationError):
+            LinkageConfig(toy_rule, engine="fortran")
+
+
+class TestEndToEndParity:
+    """The full pipeline is engine-independent, not just blocking."""
+
+    def test_hybrid_results_agree(self, toy_rule, toy_generalized):
+        from repro.linkage.hybrid import HybridLinkage, LinkageConfig
+
+        r_prime, s_prime = toy_generalized
+        results = {}
+        for engine in ("python", "numpy"):
+            config = LinkageConfig(toy_rule, allowance=0.5, engine=engine)
+            results[engine] = HybridLinkage(config).run(r_prime, s_prime)
+        scalar, vectorized = results["python"], results["numpy"]
+        assert scalar.smc_matched_pairs == vectorized.smc_matched_pairs
+        assert scalar.smc_invocations == vectorized.smc_invocations
+        assert _pair_keys(scalar.leftovers) == _pair_keys(vectorized.leftovers)
+        assert scalar.reported_match_pairs == vectorized.reported_match_pairs

@@ -215,3 +215,22 @@ class TestResultReporting:
             ).iter_matches()
         )
         assert set(result.smc_matched_pairs) <= truth
+
+    def test_observation_index_survives_dataclasses_replace(
+        self, adult_rule, generalized_pair
+    ):
+        """The lazy-hasattr bug: replace() used to carry a stale index."""
+        import dataclasses
+
+        left, right = generalized_pair
+        result = HybridLinkage(LinkageConfig(adult_rule)).run(left, right)
+        assert result.observations, "test needs SMC observations"
+        observation = result.observations[0]
+        # Prime the index on the original, then replace with no observations:
+        # the copy must rebuild its own (empty) index, not reuse the old one.
+        assert result.compared_in(observation.pair) == observation.compared
+        emptied = dataclasses.replace(result, observations=[])
+        assert emptied.compared_in(observation.pair) == 0
+        assert emptied.observed_matches_in(observation.pair) == 0
+        copied = dataclasses.replace(result)
+        assert copied.compared_in(observation.pair) == observation.compared
