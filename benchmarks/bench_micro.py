@@ -28,6 +28,7 @@ from repro.data.vgh import CategoricalHierarchy, Interval, IntervalHierarchy
 from repro.linkage.blocking import block
 from repro.linkage.distances import MatchAttribute, MatchRule
 from repro.linkage.slack import slack_decision
+from repro.obs import Telemetry
 
 
 @pytest.fixture(scope="module")
@@ -234,6 +235,11 @@ class TestBlockingEngines:
         # Keep the collector out of the timed regions: both engines allocate
         # tens of thousands of ClassPair objects per run, and a gen-2 pass
         # landing inside one engine's run would skew the ratio.
+        # One recording run per engine captures kernel metrics for the
+        # payload (chunk counts etc.); the timed best-of runs stay on the
+        # zero-overhead no-op telemetry. ``elapsed_seconds`` itself is the
+        # blocking span's duration either way.
+        telemetry = Telemetry()
         gc.collect()
         gc.disable()
         try:
@@ -245,8 +251,10 @@ class TestBlockingEngines:
                 (block(rule, left, right, engine="numpy") for _ in range(5)),
                 key=lambda result: result.elapsed_seconds,
             )
+            block(rule, left, right, engine="numpy", telemetry=telemetry)
         finally:
             gc.enable()
+        kernel_metrics = telemetry.metrics.snapshot()
         # Parity sanity before trusting the timings.
         assert scalar.nonmatch_pairs == vectorized.nonmatch_pairs
         assert len(scalar.matched) == len(vectorized.matched)
@@ -270,6 +278,12 @@ class TestBlockingEngines:
                     "seconds": vectorized.elapsed_seconds,
                     "class_pairs_per_sec": class_pairs
                     / max(vectorized.elapsed_seconds, 1e-12),
+                    "kernel_chunks": kernel_metrics["counters"].get(
+                        "blocking.kernel_chunks", 0
+                    ),
+                    "chunk_rows": kernel_metrics["histograms"].get(
+                        "blocking.chunk_rows"
+                    ),
                 },
                 "speedup": speedup,
             }

@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.bench.config import BenchConfig, ExperimentData
 from repro.bench.experiments import EXPERIMENTS
+from repro.obs import Telemetry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the selected experiments' tables as JSON",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a structured run report (span tree + metrics) as JSON",
+    )
     return parser
 
 
@@ -71,10 +77,14 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiments: {', '.join(unknown)} "
             f"(choose from {', '.join(EXPERIMENTS)})"
         )
+    telemetry = Telemetry()
+    extra = {"telemetry": telemetry} if args.metrics_out else {}
     if args.records is not None:
-        config = BenchConfig(source_records=args.records, seed=args.seed)
+        config = BenchConfig(
+            source_records=args.records, seed=args.seed, **extra
+        )
     else:
-        config = BenchConfig(seed=args.seed)
+        config = BenchConfig(seed=args.seed, **extra)
     data = ExperimentData(config)
     print(
         f"# repro-bench: {config.source_records} source records, "
@@ -83,13 +93,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     tables = []
     for name in selected:
-        started = time.perf_counter()
-        table = EXPERIMENTS[name](data)
-        elapsed = time.perf_counter() - started
+        with telemetry.span(f"experiment.{name}") as span:
+            table = EXPERIMENTS[name](data)
         tables.append(table)
         print()
         print(table.render())
-        print(f"[{name} completed in {elapsed:.1f}s]")
+        print(f"[{name} completed in {span.duration:.1f}s]")
     if args.json:
         import json
 
@@ -109,6 +118,17 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"\nwrote JSON results to {args.json}")
+    if args.metrics_out:
+        telemetry.write_report(
+            args.metrics_out,
+            context={
+                "tool": "repro-bench",
+                "experiments": selected,
+                "source_records": config.source_records,
+                "seed": config.seed,
+            },
+        )
+        print(f"wrote run report to {args.metrics_out}")
     return 0
 
 

@@ -26,6 +26,7 @@ from repro.data.adult import ADULT_COMPLETE_RECORDS, generate_adult
 from repro.data.hierarchies import ADULT_QID_ORDER, adult_hierarchies
 from repro.data.partition import LinkagePair, build_linkage_pair
 from repro.linkage.distances import MatchAttribute, MatchRule
+from repro.obs import NOOP_TELEMETRY, Telemetry
 
 SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
 DEFAULT_SOURCE_RECORDS = 4_500
@@ -64,6 +65,11 @@ class BenchConfig:
     qid_count: int = DEFAULT_QID_COUNT
     #: Blocking/scoring engine for the sweeps ("auto", "python", "numpy").
     engine: str = "auto"
+    #: Telemetry sink shared by every experiment driver. ``None`` means
+    #: the no-op default (zero overhead, nothing recorded).
+    telemetry: Telemetry | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def qids(self, count: int | None = None) -> tuple[str, ...]:
         """The paper's top-q QID set."""
@@ -80,6 +86,7 @@ class ExperimentData:
 
     def __init__(self, config: BenchConfig | None = None):
         self.config = config or BenchConfig()
+        self.telemetry = self.config.telemetry or NOOP_TELEMETRY
         self.hierarchies = adult_hierarchies()
         data_seed, partition_seed = spawn_seeds(self.config.seed, 2)
         self._data_seed = data_seed
@@ -162,7 +169,8 @@ class ExperimentData:
         if key not in self._blocking:
             left, right = self.anonymized(k, qid_count, algorithm)
             self._blocking[key] = block(
-                self.rule(theta, qid_count), left, right, engine=engine
+                self.rule(theta, qid_count), left, right, engine=engine,
+                telemetry=self.telemetry,
             )
         return self._blocking[key]
 

@@ -10,7 +10,6 @@ EXPERIMENTS.md records paper-versus-measured values produced by the
 from __future__ import annotations
 
 import random
-import time
 
 from repro.bench.config import (
     ALLOWANCE_SWEEP,
@@ -59,6 +58,7 @@ def _run(
         allowance=data.config.allowance if allowance is None else allowance,
         heuristic=heuristic or HEURISTICS["minAvgFirst"],
         strategy=strategy or STRATEGIES["maximize-precision"],
+        telemetry=data.telemetry,
     )
     left, right = data.anonymized(k, qid_count, algorithm)
     blocking = data.blocking(k, theta, qid_count, algorithm)
@@ -151,27 +151,28 @@ def smc_timing(
     from repro.crypto.paillier import PaillierKeyPair
     from repro.crypto.smc.channel import SMCSession
 
+    data = data or ExperimentData()
+    telemetry = data.telemetry
     rng = random.Random(4242)
-    started = time.perf_counter()
-    key_pair = PaillierKeyPair.generate(key_bits, rng)
-    keygen_seconds = time.perf_counter() - started
+    with telemetry.span("timing.keygen", key_bits=key_bits) as keygen_span:
+        key_pair = PaillierKeyPair.generate(key_bits, rng)
+    keygen_seconds = keygen_span.duration
     session = SMCSession(key_pair, rng=rng)
-    started = time.perf_counter()
-    for sample in range(samples):
-        secure_squared_distance(session, 40.0 + sample, 37.0)
-    distance_seconds = (time.perf_counter() - started) / samples
+    with telemetry.span("timing.secure_distance", samples=samples) as dist_span:
+        for sample in range(samples):
+            secure_squared_distance(session, 40.0 + sample, 37.0)
+    distance_seconds = dist_span.duration / samples
 
     from repro.anonymize import MaxEntropyTDS
     from repro.linkage.blocking import block
 
-    data = data or ExperimentData()
     qids = data.config.qids()
     anonymizer = MaxEntropyTDS(data.hierarchies)
-    started = time.perf_counter()
-    left = anonymizer.anonymize(data.pair.left, qids, data.config.k)
-    right = anonymizer.anonymize(data.pair.right, qids, data.config.k)
-    anonymize_seconds = time.perf_counter() - started
-    blocking = block(data.rule(), left, right)
+    with telemetry.span("timing.anonymize", k=data.config.k) as anon_span:
+        left = anonymizer.anonymize(data.pair.left, qids, data.config.k)
+        right = anonymizer.anonymize(data.pair.right, qids, data.config.k)
+    anonymize_seconds = anon_span.duration
+    blocking = block(data.rule(), left, right, telemetry=telemetry)
     blocking_seconds = blocking.elapsed_seconds
     non_crypto = anonymize_seconds + blocking_seconds
     equivalent = non_crypto / distance_seconds if distance_seconds else 0.0

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro._rng import make_random
 from repro.crypto.fixedpoint import FixedPointCodec
 from repro.crypto.paillier import PaillierKeyPair
+from repro.obs import Telemetry
 
 ALICE = "alice"
 BOB = "bob"
@@ -32,6 +33,29 @@ class Transcript:
     messages: int = 0
     bytes_sent: int = 0
     operations: Counter = field(default_factory=Counter)
+    #: Optional :class:`repro.obs.Telemetry` mirror: when bound, every
+    #: message and operation also lands in the shared metrics registry
+    #: (``channel.messages`` / ``channel.bytes_sent`` / ``crypto.<op>``).
+    telemetry: Telemetry | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def bind_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Mirror this transcript into *telemetry*'s metrics registry.
+
+        Costs already accumulated are synced immediately, so late binding
+        (e.g. attaching telemetry to an oracle whose session already
+        distributed keys) loses nothing.
+        """
+        self.telemetry = telemetry
+        if telemetry is None:
+            return
+        if self.messages:
+            telemetry.counter("channel.messages").add(self.messages)
+        if self.bytes_sent:
+            telemetry.counter("channel.bytes_sent").add(self.bytes_sent)
+        for name, count in self.operations.items():
+            telemetry.counter(f"crypto.{name}").add(count)
 
     def record_message(self, sender: str, receiver: str, size_bytes: int) -> None:
         """Account for one message of *size_bytes* crossing a boundary."""
@@ -39,10 +63,15 @@ class Transcript:
             return
         self.messages += 1
         self.bytes_sent += size_bytes
+        if self.telemetry is not None:
+            self.telemetry.counter("channel.messages").add(1)
+            self.telemetry.counter("channel.bytes_sent").add(size_bytes)
 
     def record_operation(self, name: str, count: int = 1) -> None:
         """Bump the counter for a named crypto operation."""
         self.operations[name] += count
+        if self.telemetry is not None:
+            self.telemetry.counter(f"crypto.{name}").add(count)
 
     def merged_with(self, other: "Transcript") -> "Transcript":
         """Combine two transcripts (e.g. across protocol invocations)."""
@@ -82,12 +111,15 @@ class SMCSession:
         *,
         precision: int = 4,
         rng: int | random.Random | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.key_pair = key_pair
         self.public_key = key_pair.public_key
         self.private_key = key_pair.private_key
         self.codec = FixedPointCodec(self.public_key.n, precision)
         self.transcript = Transcript()
+        if telemetry is not None:
+            self.transcript.bind_telemetry(telemetry)
         if rng is None:
             self.rng: random.Random = random.SystemRandom()
         else:

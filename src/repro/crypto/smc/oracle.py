@@ -33,16 +33,45 @@ from repro.crypto.smc.hamming import secure_equality
 from repro.data.schema import Record, Schema
 from repro.errors import ProtocolError
 from repro.linkage.distances import MatchRule
+from repro.obs import NOOP_TELEMETRY, Telemetry
 
 
 class SMCOracle(abc.ABC):
-    """Answers exact match queries for record pairs, counting costs."""
+    """Answers exact match queries for record pairs, counting costs.
 
-    def __init__(self, rule: MatchRule, schema: Schema):
+    Cost counters are plain ints on the hot path; bind a
+    :class:`repro.obs.Telemetry` (at construction or later via
+    :meth:`attach_telemetry`) and :meth:`publish_metrics` mirrors them
+    into its metrics registry as ``smc.record_pair_comparisons`` /
+    ``smc.attribute_comparisons``. :meth:`reset` zeroes both views.
+    """
+
+    def __init__(
+        self,
+        rule: MatchRule,
+        schema: Schema,
+        *,
+        telemetry: Telemetry = NOOP_TELEMETRY,
+    ):
         self.rule = rule
         self.bound = rule.bind(schema)
         self.invocations = 0
         self.attribute_comparisons = 0
+        self.telemetry = telemetry
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Bind *telemetry* and publish the current counter values."""
+        self.telemetry = telemetry
+        self.publish_metrics()
+
+    def publish_metrics(self) -> None:
+        """Sync the registry view of the oracle's cost counters."""
+        self.telemetry.counter("smc.record_pair_comparisons").set(
+            self.invocations
+        )
+        self.telemetry.counter("smc.attribute_comparisons").set(
+            self.attribute_comparisons
+        )
 
     def compare(self, left: Record, right: Record) -> bool:
         """True when the pair matches under the decision rule ``dr``."""
@@ -80,9 +109,14 @@ class SMCOracle(abc.ABC):
         return matches
 
     def reset(self) -> None:
-        """Zero the cost counters (e.g. between sweep points)."""
+        """Zero the cost counters (e.g. between sweep points).
+
+        The reset reaches the registry view too, so costs never leak
+        across sweep points through a bound telemetry.
+        """
         self.invocations = 0
         self.attribute_comparisons = 0
+        self.publish_metrics()
 
 
 class CountingPlaintextOracle(SMCOracle):
@@ -93,8 +127,14 @@ class CountingPlaintextOracle(SMCOracle):
     never require a protocol run).
     """
 
-    def __init__(self, rule: MatchRule, schema: Schema):
-        super().__init__(rule, schema)
+    def __init__(
+        self,
+        rule: MatchRule,
+        schema: Schema,
+        *,
+        telemetry: Telemetry = NOOP_TELEMETRY,
+    ):
+        super().__init__(rule, schema, telemetry=telemetry)
         self._billable = sum(
             1
             for attribute in rule
@@ -181,13 +221,26 @@ class PaillierSMCOracle(SMCOracle):
         hide_distances: bool = True,
         precision: int = 4,
         rng: int | random.Random | None = None,
+        telemetry: Telemetry = NOOP_TELEMETRY,
     ):
-        super().__init__(rule, schema)
+        super().__init__(rule, schema, telemetry=telemetry)
         if isinstance(rng, int):
             rng = random.Random(rng)
         self._key_pair = PaillierKeyPair.generate(key_bits, rng)
-        self.session = SMCSession(self._key_pair, precision=precision, rng=rng)
+        self.session = SMCSession(
+            self._key_pair,
+            precision=precision,
+            rng=rng,
+            telemetry=telemetry if telemetry.enabled else None,
+        )
         self.hide_distances = hide_distances
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Bind *telemetry*, including the session's channel transcript."""
+        super().attach_telemetry(telemetry)
+        self.session.transcript.bind_telemetry(
+            telemetry if telemetry.enabled else None
+        )
 
     def _compare(self, left: Record, right: Record) -> bool:
         for attribute, position in zip(self.rule, self.bound.positions):

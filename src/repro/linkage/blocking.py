@@ -28,7 +28,6 @@ Three implementation notes:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.anonymize.base import EquivalenceClass, GeneralizedRelation
@@ -36,6 +35,7 @@ from repro.errors import ConfigurationError
 from repro.linkage.distances import MatchRule
 from repro.linkage.expected import normalized_expected_distance
 from repro.linkage.slack import attribute_slack
+from repro.obs import NOOP_TELEMETRY, Telemetry
 
 #: Recognized values of the ``engine`` parameter.
 ENGINES = ("auto", "python", "numpy")
@@ -204,6 +204,7 @@ def block(
     *,
     engine: str = "auto",
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
+    telemetry: Telemetry = NOOP_TELEMETRY,
 ) -> BlockingResult:
     """Run the blocking step over two anonymized relations.
 
@@ -212,6 +213,10 @@ def block(
     intermediate size. Both engines return bit-identical results: the same
     ``matched`` / ``unknown`` class pairs in the same order and the same
     ``nonmatch_pairs`` count.
+
+    *telemetry* records the blocking phase as a span (whose duration
+    becomes ``elapsed_seconds``) with a nested kernel span, plus the
+    M/N/U pair tallies and the engine choice in the metrics registry.
     """
     for name in rule.names:
         if name not in left.qids or name not in right.qids:
@@ -219,18 +224,30 @@ def block(
                 f"rule attribute {name!r} is not a QID of both relations; "
                 f"left={left.qids}, right={right.qids}"
             )
-    resolved = resolve_engine(engine, len(left.classes) * len(right.classes))
-    started = time.perf_counter()
+    class_pairs = len(left.classes) * len(right.classes)
+    resolved = resolve_engine(engine, class_pairs)
     result = BlockingResult(
         rule=rule,
         total_pairs=len(left.source) * len(right.source),
         engine=resolved,
     )
-    if resolved == "numpy":
-        _block_numpy(rule, left, right, result, chunk_cells)
-    else:
-        _block_python(rule, left, right, result)
-    result.elapsed_seconds = time.perf_counter() - started
+    with telemetry.span(
+        "blocking", engine=resolved, class_pairs=class_pairs
+    ) as span:
+        with telemetry.span(f"blocking.kernel.{resolved}"):
+            if resolved == "numpy":
+                _block_numpy(rule, left, right, result, chunk_cells, telemetry)
+            else:
+                _block_python(rule, left, right, result)
+    result.elapsed_seconds = span.duration
+    if telemetry.enabled:
+        telemetry.gauge("blocking.engine").set(resolved)
+        telemetry.counter("blocking.class_pairs").add(class_pairs)
+        telemetry.counter("blocking.matched_class_pairs").add(len(result.matched))
+        telemetry.counter("blocking.unknown_class_pairs").add(len(result.unknown))
+        telemetry.counter("blocking.matched_record_pairs").add(result.matched_pairs)
+        telemetry.counter("blocking.nonmatch_record_pairs").add(result.nonmatch_pairs)
+        telemetry.counter("blocking.unknown_record_pairs").add(result.unknown_pairs)
     return result
 
 
@@ -295,6 +312,7 @@ def _block_numpy(
     right: GeneralizedRelation,
     result: BlockingResult,
     chunk_cells: int,
+    telemetry: Telemetry = NOOP_TELEMETRY,
 ) -> None:
     """The vectorized engine: codes + verdict matrices + chunked reductions.
 
@@ -347,9 +365,11 @@ def _block_numpy(
     right_array[:] = right_classes
     rows_per_chunk = max(1, chunk_cells // right_count)
     nonmatch_total = 0
+    chunks = 0
     matched = result.matched
     unknown = result.unknown
     for start in range(0, len(left_classes), rows_per_chunk):
+        chunks += 1
         stop = min(start + rows_per_chunk, len(left_classes))
         nonmatch = None
         all_match = None
@@ -381,6 +401,8 @@ def _block_numpy(
             map(ClassPair, left_array[start + unknown_rows], right_array[unknown_cols])
         )
     result.nonmatch_pairs = nonmatch_total
+    telemetry.counter("blocking.kernel_chunks").add(chunks)
+    telemetry.histogram("blocking.chunk_rows").observe(rows_per_chunk)
 
 
 class ExpectedDistanceCache:

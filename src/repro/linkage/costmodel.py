@@ -19,12 +19,12 @@ Two calibrations are provided:
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 
 from repro.crypto.paillier import PaillierKeyPair
 from repro.crypto.smc.channel import SMCSession
 from repro.crypto.smc.comparison import secure_within_threshold
+from repro.obs import NOOP_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,7 @@ class SMCCostModel:
         key_bits: int = 1024,
         samples: int = 5,
         rng: random.Random | int | None = None,
+        telemetry: Telemetry = NOOP_TELEMETRY,
     ) -> "SMCCostModel":
         """Calibrate by running the real blinded-comparison protocol."""
         if isinstance(rng, int):
@@ -81,15 +82,16 @@ class SMCCostModel:
         key_pair = PaillierKeyPair.generate(key_bits, rng)
         session = SMCSession(key_pair, rng=rng)
         bytes_before = session.transcript.bytes_sent
-        started = time.perf_counter()
-        for sample in range(samples):
-            secure_within_threshold(
-                session, 40.0 + sample, 37.0, 19.6
-            )
-        elapsed = time.perf_counter() - started
+        with telemetry.span(
+            "costmodel.measure", key_bits=key_bits, samples=samples
+        ) as span:
+            for sample in range(samples):
+                secure_within_threshold(
+                    session, 40.0 + sample, 37.0, 19.6
+                )
         bytes_used = session.transcript.bytes_sent - bytes_before
         return cls(
-            seconds_per_comparison=elapsed / samples,
+            seconds_per_comparison=span.duration / samples,
             bytes_per_comparison=bytes_used // samples,
             key_bits=key_bits,
         )

@@ -38,6 +38,7 @@ from repro._rng import make_random
 from repro.anonymize.base import GeneralizedRelation
 from repro.linkage.blocking import ClassPair, ExpectedDistanceCache, resolve_engine
 from repro.linkage.distances import MatchRule
+from repro.obs import NOOP_TELEMETRY, Telemetry
 
 
 class SelectionHeuristic(abc.ABC):
@@ -52,15 +53,21 @@ class SelectionHeuristic(abc.ABC):
         left: GeneralizedRelation,
         right: GeneralizedRelation,
         engine: str = "auto",
+        telemetry: Telemetry = NOOP_TELEMETRY,
     ) -> list[ClassPair]:
         """Return *unknown* in consumption order (best candidates first)."""
         if not unknown:
             return []
-        if resolve_engine(engine, len(unknown)) == "numpy":
-            ordered = self._order_numpy(unknown, rule, left, right)
-            if ordered is not None:
-                return ordered
-        return self._order_python(unknown, rule, left, right)
+        resolved = resolve_engine(engine, len(unknown))
+        with telemetry.span(
+            f"select.score.{resolved}", heuristic=self.name, pairs=len(unknown)
+        ):
+            telemetry.counter("select.pairs_scored").add(len(unknown))
+            if resolved == "numpy":
+                ordered = self._order_numpy(unknown, rule, left, right)
+                if ordered is not None:
+                    return ordered
+            return self._order_python(unknown, rule, left, right)
 
     def _order_python(
         self,
@@ -189,10 +196,16 @@ class RandomSelection(SelectionHeuristic):
     def __init__(self, seed: int | random.Random | None = None):
         self._rng = make_random(seed)
 
-    def order(self, unknown, rule, left, right, engine="auto"):
-        shuffled = list(unknown)
-        self._rng.shuffle(shuffled)
-        return shuffled
+    def order(
+        self, unknown, rule, left, right, engine="auto",
+        telemetry=NOOP_TELEMETRY,
+    ):
+        with telemetry.span(
+            "select.shuffle", heuristic=self.name, pairs=len(unknown)
+        ):
+            shuffled = list(unknown)
+            self._rng.shuffle(shuffled)
+            return shuffled
 
     def score(self, vector: tuple[float, ...]) -> float:  # pragma: no cover
         return 0.0
@@ -204,6 +217,7 @@ def average_expected_scores(
     left: GeneralizedRelation,
     right: GeneralizedRelation,
     engine: str = "auto",
+    telemetry: Telemetry = NOOP_TELEMETRY,
 ) -> list[float]:
     """Average expected-distance score per class pair (minAvgFirst's score).
 
@@ -213,6 +227,7 @@ def average_expected_scores(
     """
     if not pairs:
         return []
+    telemetry.counter("select.pairs_scored").add(len(pairs))
     scorer = MinAvgFirst()
     if resolve_engine(engine, len(pairs)) == "numpy":
         from repro.linkage.codes import CodeTables

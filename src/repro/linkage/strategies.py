@@ -31,6 +31,7 @@ from repro.anonymize.base import GeneralizedRelation
 from repro.linkage.blocking import ClassPair
 from repro.linkage.distances import MatchRule
 from repro.linkage.heuristics import average_expected_scores
+from repro.obs import NOOP_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -63,12 +64,14 @@ class LeftoverStrategy(abc.ABC):
         left: GeneralizedRelation,
         right: GeneralizedRelation,
         engine: str = "auto",
+        telemetry: Telemetry = NOOP_TELEMETRY,
     ) -> list[ClassPair]:
         """Return the leftover class pairs to claim (unverified) as matches.
 
         *engine* selects the scoring backend for strategies that rank
         class pairs (see :data:`repro.linkage.blocking.ENGINES`); claims
-        are engine-independent.
+        are engine-independent. *telemetry* records scoring work for
+        strategies that rank class pairs.
         """
 
 
@@ -77,7 +80,10 @@ class MaximizePrecision(LeftoverStrategy):
 
     name = "maximize-precision"
 
-    def claim_matches(self, leftovers, observations, rule, left, right, engine="auto"):
+    def claim_matches(
+        self, leftovers, observations, rule, left, right, engine="auto",
+        telemetry=NOOP_TELEMETRY,
+    ):
         return []
 
 
@@ -86,7 +92,10 @@ class MaximizeRecall(LeftoverStrategy):
 
     name = "maximize-recall"
 
-    def claim_matches(self, leftovers, observations, rule, left, right, engine="auto"):
+    def claim_matches(
+        self, leftovers, observations, rule, left, right, engine="auto",
+        telemetry=NOOP_TELEMETRY,
+    ):
         return list(leftovers)
 
 
@@ -108,7 +117,10 @@ class LearnedClassifier(LeftoverStrategy):
     name = "learned-classifier"
     requires_random_selection = True
 
-    def claim_matches(self, leftovers, observations, rule, left, right, engine="auto"):
+    def claim_matches(
+        self, leftovers, observations, rule, left, right, engine="auto",
+        telemetry=NOOP_TELEMETRY,
+    ):
         if not observations or not leftovers:
             return []
         trained = [
@@ -116,7 +128,7 @@ class LearnedClassifier(LeftoverStrategy):
         ]
         training_scores = average_expected_scores(
             [observation.pair for observation in trained],
-            rule, left, right, engine,
+            rule, left, right, engine, telemetry,
         )
         examples = [  # (score, positives, negatives)
             (
@@ -130,7 +142,7 @@ class LearnedClassifier(LeftoverStrategy):
         if threshold is None:
             return []
         leftover_scores = average_expected_scores(
-            leftovers, rule, left, right, engine
+            leftovers, rule, left, right, engine, telemetry
         )
         return [
             pair

@@ -1,0 +1,66 @@
+"""``repro.obs``: dependency-free pipeline telemetry.
+
+The paper's entire evaluation (Section VI) is a cost story — blocking
+time versus SMC allowance spent versus recall — so the pipeline carries a
+uniform instrumentation layer instead of ad-hoc timers:
+
+- **Spans** — nestable context-manager timers with attributes, recorded
+  into a per-run trace tree (:meth:`Telemetry.span`).
+- **Metrics** — a registry of named counters, gauges and histograms
+  (:class:`MetricsRegistry`): pairs labeled M/N/U at blocking, class
+  pairs scored per heuristic, SMC record-pair and attribute comparisons,
+  Paillier operation counts, bytes through the SMC channel, the engine
+  chosen and the chunk count of the numpy kernel.
+- **Run reports** — a versioned JSON document combining the span tree
+  and final metric values (:func:`build_report`), with a schema
+  validator and a human-readable summary printer (:mod:`repro.obs.report`,
+  also runnable as ``python -m repro.obs.report report.json``).
+
+One :class:`Telemetry` object threads through
+:class:`~repro.linkage.hybrid.LinkageConfig` /
+:class:`~repro.bench.config.BenchConfig` into blocking, heuristics,
+strategies, the SMC oracles and the crypto channel. The default is
+:data:`NOOP_TELEMETRY`, whose spans only read the clock (so
+``elapsed_seconds`` fields keep working) and whose instruments discard
+everything — linkage output is identical with telemetry on or off.
+"""
+
+from repro.obs.report import (
+    RUN_REPORT_KIND,
+    RUN_REPORT_SCHEMA,
+    RUN_REPORT_VERSION,
+    build_report,
+    render_report,
+    validate_report,
+    validation_errors,
+)
+from repro.obs.telemetry import (
+    NOOP_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopTelemetry,
+    NullSpan,
+    Span,
+    Telemetry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TELEMETRY",
+    "NoopTelemetry",
+    "NullSpan",
+    "RUN_REPORT_KIND",
+    "RUN_REPORT_SCHEMA",
+    "RUN_REPORT_VERSION",
+    "Span",
+    "Telemetry",
+    "build_report",
+    "render_report",
+    "validate_report",
+    "validation_errors",
+]

@@ -37,6 +37,7 @@ from repro.errors import ReproError
 from repro.linkage.distances import MatchAttribute, MatchRule
 from repro.linkage.heuristics import heuristic_by_name
 from repro.linkage.hybrid import HybridLinkage, LinkageConfig
+from repro.obs import NOOP_TELEMETRY, Telemetry
 
 ANONYMIZERS = {
     "maxent": MaxEntropyTDS,
@@ -219,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write verified matches as CSV (left_index,right_index)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a structured run report (span tree + metrics) as JSON",
+    )
     return parser
 
 
@@ -245,15 +252,18 @@ def main(argv: list[str] | None = None) -> int:
             MatchAttribute(spec.name, hierarchies[spec.name], spec.theta)
             for spec in args.attrs
         )
+        telemetry = Telemetry() if args.metrics_out else NOOP_TELEMETRY
         anonymizer = ANONYMIZERS[args.anonymizer](hierarchies)
         qids = tuple(spec.name for spec in args.attrs)
-        left_gen = anonymizer.anonymize(left, qids, args.k)
-        right_gen = anonymizer.anonymize(right, qids, args.k)
+        with telemetry.span("anonymize", algorithm=args.anonymizer, k=args.k):
+            left_gen = anonymizer.anonymize(left, qids, args.k)
+            right_gen = anonymizer.anonymize(right, qids, args.k)
         config = LinkageConfig(
             rule,
             allowance=args.allowance,
             heuristic=heuristic_by_name(args.heuristic),
             engine=args.engine,
+            telemetry=telemetry,
         )
         result = HybridLinkage(config).run(left_gen, right_gen)
     except ReproError as error:
@@ -267,6 +277,19 @@ def main(argv: list[str] | None = None) -> int:
             writer.writerow(("left_index", "right_index"))
             writer.writerows(matches)
         print(f"wrote {len(matches)} verified matches to {args.out}")
+    if args.metrics_out:
+        telemetry.write_report(
+            args.metrics_out,
+            context={
+                "tool": "repro-link",
+                "engine": args.engine,
+                "k": args.k,
+                "allowance": args.allowance,
+                "heuristic": args.heuristic,
+                "anonymizer": args.anonymizer,
+            },
+        )
+        print(f"wrote run report to {args.metrics_out}")
     return 0
 
 

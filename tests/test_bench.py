@@ -191,3 +191,19 @@ class TestCLI:
             payload = json.load(handle)
         assert payload["experiments"][0]["experiment"] == "toy"
         assert payload["experiments"][0]["rows"]
+
+    def test_metrics_out_writes_valid_report(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_report
+
+        path = str(tmp_path / "run_report.json")
+        assert main(["fig6", "--records", "450", "--metrics-out", path]) == 0
+        assert "wrote run report" in capsys.readouterr().out
+        with open(path) as handle:
+            document = validate_report(json.load(handle))
+        assert document["context"]["tool"] == "repro-bench"
+        assert document["context"]["experiments"] == ["fig6"]
+        names = {span["name"] for span in document["trace"]}
+        assert "experiment.fig6" in names
+        assert document["metrics"]["counters"]["blocking.class_pairs"] > 0

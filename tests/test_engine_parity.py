@@ -235,3 +235,88 @@ class TestEndToEndParity:
         assert scalar.smc_invocations == vectorized.smc_invocations
         assert _pair_keys(scalar.leftovers) == _pair_keys(vectorized.leftovers)
         assert scalar.reported_match_pairs == vectorized.reported_match_pairs
+
+    def test_telemetry_does_not_change_decisions(
+        self, toy_rule, toy_generalized
+    ):
+        """Telemetry on vs off (the no-op default): identical outputs."""
+        from repro.linkage.hybrid import HybridLinkage, LinkageConfig
+        from repro.obs import Telemetry
+
+        r_prime, s_prime = toy_generalized
+        plain = HybridLinkage(
+            LinkageConfig(toy_rule, allowance=0.5)
+        ).run(r_prime, s_prime)
+        observed = HybridLinkage(
+            LinkageConfig(toy_rule, allowance=0.5, telemetry=Telemetry())
+        ).run(r_prime, s_prime)
+        assert plain.smc_matched_pairs == observed.smc_matched_pairs
+        assert plain.smc_invocations == observed.smc_invocations
+        assert plain.attribute_comparisons == observed.attribute_comparisons
+        assert _pair_keys(plain.leftovers) == _pair_keys(observed.leftovers)
+        assert _pair_keys(plain.claimed) == _pair_keys(observed.claimed)
+        assert plain.reported_match_pairs == observed.reported_match_pairs
+        assert [
+            (o.pair.left.indices, o.pair.right.indices, o.compared, o.matches)
+            for o in plain.observations
+        ] == [
+            (o.pair.left.indices, o.pair.right.indices, o.compared, o.matches)
+            for o in observed.observations
+        ]
+
+
+class TestTelemetryAcceptance:
+    """One instrumented end-to-end run produces the promised trace."""
+
+    def test_run_report_depth_and_counters(self, toy_rule, toy_generalized):
+        from repro.crypto.smc.oracle import PaillierSMCOracle
+        from repro.linkage.hybrid import HybridLinkage, LinkageConfig
+        from repro.obs import Telemetry, validate_report
+
+        r_prime, s_prime = toy_generalized
+        telemetry = Telemetry()
+        config = LinkageConfig(
+            toy_rule,
+            allowance=0.5,
+            oracle_factory=lambda rule, schema: PaillierSMCOracle(
+                rule, schema, key_bits=256, rng=77
+            ),
+            telemetry=telemetry,
+        )
+        result = HybridLinkage(config).run(r_prime, s_prime)
+        assert result.smc_invocations > 0
+
+        def depth(span):
+            return 1 + max((depth(child) for child in span["children"]), default=0)
+
+        document = validate_report(telemetry.run_report({"suite": "parity"}))
+        assert max(depth(span) for span in document["trace"]) >= 3
+        names = set()
+
+        def collect(span):
+            names.add(span["name"])
+            for child in span["children"]:
+                collect(child)
+
+        for span in document["trace"]:
+            collect(span)
+        assert {"linkage.run", "blocking", "linkage.link", "linkage.smc"} <= names
+        counters = document["metrics"]["counters"]
+        assert counters["blocking.class_pairs"] > 0
+        assert (
+            counters["blocking.matched_record_pairs"]
+            + counters["blocking.nonmatch_record_pairs"]
+            + counters["blocking.unknown_record_pairs"]
+        ) == result.total_pairs
+        assert counters["select.pairs_scored"] > 0
+        assert counters["smc.record_pair_comparisons"] == result.smc_invocations
+        assert (
+            counters["smc.attribute_comparisons"]
+            == result.attribute_comparisons
+        )
+        assert counters["channel.bytes_sent"] > 0
+        assert counters["channel.messages"] > 0
+        assert counters["crypto.encrypt"] > 0
+        assert document["metrics"]["gauges"]["blocking.engine"] in (
+            "python", "numpy",
+        )

@@ -115,6 +115,35 @@ class TestEndToEnd:
             assert left_record[2] == right_record[2]
             assert left_record[4] == right_record[4]
 
+    def test_metrics_out_writes_valid_report(self, csv_pair, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_report
+
+        left_path, right_path, _ = csv_pair
+        report_path = str(tmp_path / "run_report.json")
+        code = main(
+            [
+                left_path,
+                right_path,
+                "--attr", "age=continuous:0.05",
+                "--attr", "education=categorical:0.5",
+                "--k", "8",
+                "--allowance", "0.02",
+                "--metrics-out", report_path,
+            ]
+        )
+        assert code == 0
+        assert "wrote run report" in capsys.readouterr().out
+        with open(report_path) as handle:
+            document = validate_report(json.load(handle))
+        assert document["context"]["tool"] == "repro-link"
+        names = {span["name"] for span in document["trace"]}
+        assert {"anonymize", "linkage.run"} <= names
+        counters = document["metrics"]["counters"]
+        assert counters["blocking.class_pairs"] > 0
+        assert counters["smc.record_pair_comparisons"] > 0
+
     def test_header_mismatch_fails_cleanly(self, csv_pair, tmp_path, capsys):
         left_path, _, __ = csv_pair
         other = tmp_path / "other.csv"

@@ -44,6 +44,39 @@ class TestCountingPlaintextOracle:
         oracle.reset()
         assert oracle.invocations == 0
 
+    def test_reset_zeroes_registry_view_too(self, toy_setup):
+        """Between sweep points no cost may leak through the telemetry."""
+        from repro.obs import Telemetry
+
+        schema, rule = toy_setup
+        telemetry = Telemetry()
+        oracle = CountingPlaintextOracle(rule, schema, telemetry=telemetry)
+        for _ in range(3):
+            oracle.compare(("Masters", 35), ("Masters", 36))
+        oracle.publish_metrics()
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["smc.record_pair_comparisons"] == 3
+        assert counters["smc.attribute_comparisons"] == 6
+        oracle.reset()
+        assert oracle.invocations == 0
+        assert oracle.attribute_comparisons == 0
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["smc.record_pair_comparisons"] == 0
+        assert counters["smc.attribute_comparisons"] == 0
+
+    def test_attach_telemetry_publishes_existing_costs(self, toy_setup):
+        """Late binding syncs totals accumulated before attachment."""
+        from repro.obs import Telemetry
+
+        schema, rule = toy_setup
+        oracle = CountingPlaintextOracle(rule, schema)
+        oracle.compare(("Masters", 35), ("Masters", 36))
+        telemetry = Telemetry()
+        oracle.attach_telemetry(telemetry)
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["smc.record_pair_comparisons"] == 1
+        assert counters["smc.attribute_comparisons"] == 2
+
     def test_loose_categorical_not_billed(self):
         schema = Schema(
             [Attribute.categorical("education"), Attribute.continuous("work_hrs")]
