@@ -6,10 +6,14 @@ ground-truth oracle. They put concrete per-operation numbers behind the
 cost-model discussion in DESIGN.md.
 
 ``TestBlockingEngines`` additionally races the scalar and numpy blocking
-engines over synthetic corpora at several class-count scales and appends
-the measurements to ``BENCH_blocking.json`` at the repository root
-(override the path with ``REPRO_BENCH_BLOCKING_OUT``), so the perf
-trajectory of the vectorized kernel is tracked across PRs.
+engines over synthetic corpora at several class-count scales and records
+the measurements in ``BENCH_blocking.json`` at the repository root
+(override the path with ``REPRO_BENCH_BLOCKING_OUT``). Scales are merged
+into the existing file rather than overwriting it, so a quick-mode run no
+longer wipes the full-scale numbers; every run also appends one
+provenance-stamped record (timestamp, git SHA, machine) to
+``BENCH_history.jsonl`` (override with ``REPRO_BENCH_HISTORY_OUT``) — the
+input to ``python -m repro.obs.compare`` and the CI perf gate.
 """
 
 import gc
@@ -202,6 +206,22 @@ def _bench_rule() -> MatchRule:
     )
 
 
+def _merge_scales(existing: list[dict], fresh: list[dict]) -> list[dict]:
+    """Overlay *fresh* per-scale measurements onto *existing* ones.
+
+    Keyed by ``(left_classes, right_classes)``: a re-measured scale
+    replaces its old record, unmeasured scales survive — so a quick-mode
+    run updates the smallest scale without wiping the full-scale numbers.
+    """
+    merged = {
+        (record["left_classes"], record["right_classes"]): record
+        for record in existing
+    }
+    for record in fresh:
+        merged[(record["left_classes"], record["right_classes"])] = record
+    return [merged[key] for key in sorted(merged)]
+
+
 @pytest.fixture(scope="module")
 def blocking_engine_results():
     """Collects per-scale measurements; writes the JSON file on teardown."""
@@ -209,18 +229,43 @@ def blocking_engine_results():
     yield results
     if not results:
         return
+    repo_root = Path(__file__).resolve().parent.parent
+    out = os.environ.get(
+        "REPRO_BENCH_BLOCKING_OUT", str(repo_root / "BENCH_blocking.json")
+    )
+    existing: list[dict] = []
+    try:
+        with open(out) as handle:
+            previous = json.load(handle)
+        if previous.get("benchmark") == "blocking-engines":
+            existing = previous.get("scales") or []
+    except (OSError, json.JSONDecodeError):
+        pass
     payload = {
         "benchmark": "blocking-engines",
         "python_version": platform.python_version(),
-        "scales": results,
+        "scales": _merge_scales(existing, results),
     }
-    out = os.environ.get(
-        "REPRO_BENCH_BLOCKING_OUT",
-        str(Path(__file__).resolve().parent.parent / "BENCH_blocking.json"),
-    )
     with open(out, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+    # The history record keeps only this run's actual measurements (not
+    # the merged file) so each entry reflects one machine and one moment.
+    from repro.obs.compare import append_history, history_record
+
+    history_out = os.environ.get(
+        "REPRO_BENCH_HISTORY_OUT", str(repo_root / "BENCH_history.jsonl")
+    )
+    append_history(
+        history_out,
+        history_record(
+            {
+                "benchmark": "blocking-engines",
+                "python_version": platform.python_version(),
+                "scales": results,
+            }
+        ),
+    )
 
 
 class TestBlockingEngines:

@@ -59,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a structured run report (span tree + metrics) as JSON",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live phase progress on stderr (a status bar on a TTY, "
+        "periodic log lines otherwise)",
+    )
     return parser
 
 
@@ -78,7 +84,13 @@ def main(argv: list[str] | None = None) -> int:
             f"(choose from {', '.join(EXPERIMENTS)})"
         )
     telemetry = Telemetry()
-    extra = {"telemetry": telemetry} if args.metrics_out else {}
+    if args.progress:
+        from repro.obs import ProgressRenderer
+
+        telemetry.progress = ProgressRenderer()
+    extra = (
+        {"telemetry": telemetry} if (args.metrics_out or args.progress) else {}
+    )
     if args.records is not None:
         config = BenchConfig(
             source_records=args.records, seed=args.seed, **extra
@@ -92,13 +104,16 @@ def main(argv: list[str] | None = None) -> int:
         f"allowance={config.allowance:.1%}, QIDs={config.qid_count}"
     )
     tables = []
-    for name in selected:
-        with telemetry.span(f"experiment.{name}") as span:
-            table = EXPERIMENTS[name](data)
-        tables.append(table)
-        print()
-        print(table.render())
-        print(f"[{name} completed in {span.duration:.1f}s]")
+    try:
+        for name in selected:
+            with telemetry.span(f"experiment.{name}") as span:
+                table = EXPERIMENTS[name](data)
+            tables.append(table)
+            print()
+            print(table.render())
+            print(f"[{name} completed in {span.duration:.1f}s]")
+    finally:
+        telemetry.progress.close()
     if args.json:
         import json
 

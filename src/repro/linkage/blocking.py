@@ -28,6 +28,7 @@ Three implementation notes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.anonymize.base import EquivalenceClass, GeneralizedRelation
@@ -238,7 +239,17 @@ def block(
             if resolved == "numpy":
                 _block_numpy(rule, left, right, result, chunk_cells, telemetry)
             else:
-                _block_python(rule, left, right, result)
+                _block_python(rule, left, right, result, telemetry)
+        # Imported per call so ``python -m repro.obs.compare`` never finds
+        # its target pre-imported via ``import repro``; block() runs once
+        # per blocking phase, so the lookup cost is irrelevant.
+        from repro.obs.compare import synthetic_slowdown
+
+        slowdown = synthetic_slowdown("blocking")
+        if slowdown > 1.0:
+            # CI's perf-gate negative control: pad the blocking span until
+            # the phase has taken ``slowdown`` times its real duration.
+            time.sleep((slowdown - 1.0) * span.duration)
     result.elapsed_seconds = span.duration
     if telemetry.enabled:
         telemetry.gauge("blocking.engine").set(resolved)
@@ -256,6 +267,7 @@ def _block_python(
     left: GeneralizedRelation,
     right: GeneralizedRelation,
     result: BlockingResult,
+    telemetry: Telemetry = NOOP_TELEMETRY,
 ) -> None:
     """The scalar reference engine: memoized dict lookups per class pair."""
     left_positions = [left.qids.index(name) for name in rule.names]
@@ -275,7 +287,8 @@ def _block_python(
     nonmatch_pairs = 0
     matched = result.matched
     unknown = result.unknown
-    for left_class in left.classes:
+    left_total = len(left.classes)
+    for left_index, left_class in enumerate(left.classes):
         left_size = left_class.size
         # Bind this left class's value into each attribute table: the inner
         # loop then does one dict lookup per attribute.
@@ -303,6 +316,9 @@ def _block_python(
                 matched.append(ClassPair(left_class, right_classes[right_index]))
             else:
                 unknown.append(ClassPair(left_class, right_classes[right_index]))
+        telemetry.emit_progress(
+            "blocking", left_index + 1, left_total, unit="left classes"
+        )
     result.nonmatch_pairs = nonmatch_pairs
 
 
@@ -364,6 +380,7 @@ def _block_numpy(
     right_array = np.empty(right_count, dtype=object)
     right_array[:] = right_classes
     rows_per_chunk = max(1, chunk_cells // right_count)
+    total_chunks = -(-len(left_classes) // rows_per_chunk)
     nonmatch_total = 0
     chunks = 0
     matched = result.matched
@@ -400,6 +417,7 @@ def _block_numpy(
         unknown.extend(
             map(ClassPair, left_array[start + unknown_rows], right_array[unknown_cols])
         )
+        telemetry.emit_progress("blocking", chunks, total_chunks, unit="chunks")
     result.nonmatch_pairs = nonmatch_total
     telemetry.counter("blocking.kernel_chunks").add(chunks)
     telemetry.histogram("blocking.chunk_rows").observe(rows_per_chunk)

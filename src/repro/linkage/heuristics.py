@@ -63,11 +63,29 @@ class SelectionHeuristic(abc.ABC):
             f"select.score.{resolved}", heuristic=self.name, pairs=len(unknown)
         ):
             telemetry.counter("select.pairs_scored").add(len(unknown))
+            telemetry.emit_progress(
+                "select", 0, len(unknown), unit="pairs", heuristic=self.name
+            )
             if resolved == "numpy":
                 ordered = self._order_numpy(unknown, rule, left, right)
                 if ordered is not None:
+                    telemetry.emit_progress(
+                        "select",
+                        len(unknown),
+                        len(unknown),
+                        unit="pairs",
+                        heuristic=self.name,
+                    )
                     return ordered
-            return self._order_python(unknown, rule, left, right)
+            ordered = self._order_python(unknown, rule, left, right)
+            telemetry.emit_progress(
+                "select",
+                len(unknown),
+                len(unknown),
+                unit="pairs",
+                heuristic=self.name,
+            )
+            return ordered
 
     def _order_python(
         self,
@@ -205,6 +223,13 @@ class RandomSelection(SelectionHeuristic):
         ):
             shuffled = list(unknown)
             self._rng.shuffle(shuffled)
+            telemetry.emit_progress(
+                "select",
+                len(shuffled),
+                len(shuffled),
+                unit="pairs",
+                heuristic=self.name,
+            )
             return shuffled
 
     def score(self, vector: tuple[float, ...]) -> float:  # pragma: no cover

@@ -291,6 +291,14 @@ class HybridLinkage:
                         if take < pair.size:
                             leftovers.append(pair)
                         telemetry.histogram("smc.class_pair_take").observe(take)
+                        telemetry.emit_progress(
+                            "smc",
+                            allowance_pairs - budget,
+                            allowance_pairs,
+                            unit="pairs",
+                            matches=len(smc_matched),
+                            class_pairs=position + 1,
+                        )
                 smc_span.annotate(
                     invocations=oracle.invocations,
                     matches=len(smc_matched),

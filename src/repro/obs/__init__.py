@@ -15,6 +15,18 @@ uniform instrumentation layer instead of ad-hoc timers:
   and final metric values (:func:`build_report`), with a schema
   validator and a human-readable summary printer (:mod:`repro.obs.report`,
   also runnable as ``python -m repro.obs.report report.json``).
+- **Exports** — any run report renders to a Chrome ``trace_event``
+  document (chrome://tracing / Perfetto) or a flat JSONL structured
+  event log (:mod:`repro.obs.export`, also runnable as
+  ``python -m repro.obs.export report.json --format chrome``).
+- **Progress** — live phase-advancement events from the blocking
+  kernels, heuristic selection and the SMC loop, rendered as a TTY
+  status bar or throttled log lines (:mod:`repro.obs.progress`; the
+  ``--progress`` flag of ``repro-link`` / ``repro-bench``).
+- **Comparison** — a JSONL bench-history store and a per-phase /
+  per-counter regression comparator with tolerance semantics
+  (:mod:`repro.obs.compare`, runnable as ``python -m repro.obs.compare
+  baseline.json current.json --tolerance 25%`` — CI's perf gate).
 
 One :class:`Telemetry` object threads through
 :class:`~repro.linkage.hybrid.LinkageConfig` /
@@ -25,16 +37,16 @@ strategies, the SMC oracles and the crypto channel. The default is
 everything — linkage output is identical with telemetry on or off.
 """
 
-from repro.obs.report import (
-    RUN_REPORT_KIND,
-    RUN_REPORT_SCHEMA,
-    RUN_REPORT_VERSION,
-    build_report,
-    render_report,
-    validate_report,
-    validation_errors,
+from repro.obs.progress import (
+    NULL_PROGRESS,
+    CollectingProgress,
+    ProgressEvent,
+    ProgressRenderer,
+    ProgressSink,
 )
 from repro.obs.telemetry import (
+    HISTOGRAM_PERCENTILES,
+    HISTOGRAM_RESERVOIR_SIZE,
     NOOP_TELEMETRY,
     Counter,
     Gauge,
@@ -46,21 +58,87 @@ from repro.obs.telemetry import (
     Telemetry,
 )
 
+# The report/export/compare submodules double as ``python -m`` CLIs, so
+# they are re-exported lazily (PEP 562): importing the package must not
+# pre-import the module runpy is about to execute as ``__main__``.
+_LAZY_EXPORTS = {
+    "RUN_REPORT_KIND": "repro.obs.report",
+    "RUN_REPORT_MINOR_VERSION": "repro.obs.report",
+    "RUN_REPORT_SCHEMA": "repro.obs.report",
+    "RUN_REPORT_VERSION": "repro.obs.report",
+    "build_report": "repro.obs.report",
+    "render_report": "repro.obs.report",
+    "validate_report": "repro.obs.report",
+    "validation_errors": "repro.obs.report",
+    "event_log_errors": "repro.obs.export",
+    "to_chrome_trace": "repro.obs.export",
+    "to_event_log": "repro.obs.export",
+    "write_chrome_trace": "repro.obs.export",
+    "write_event_log": "repro.obs.export",
+    "SYNTHETIC_SLOWDOWN_ENV": "repro.obs.compare",
+    "Delta": "repro.obs.compare",
+    "Metric": "repro.obs.compare",
+    "append_history": "repro.obs.compare",
+    "compare_metrics": "repro.obs.compare",
+    "extract_metrics": "repro.obs.compare",
+    "history_record": "repro.obs.compare",
+    "parse_tolerance": "repro.obs.compare",
+    "synthetic_slowdown": "repro.obs.compare",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
 __all__ = [
+    "CollectingProgress",
     "Counter",
+    "Delta",
     "Gauge",
+    "HISTOGRAM_PERCENTILES",
+    "HISTOGRAM_RESERVOIR_SIZE",
     "Histogram",
+    "Metric",
     "MetricsRegistry",
     "NOOP_TELEMETRY",
+    "NULL_PROGRESS",
     "NoopTelemetry",
     "NullSpan",
+    "ProgressEvent",
+    "ProgressRenderer",
+    "ProgressSink",
     "RUN_REPORT_KIND",
+    "RUN_REPORT_MINOR_VERSION",
     "RUN_REPORT_SCHEMA",
     "RUN_REPORT_VERSION",
+    "SYNTHETIC_SLOWDOWN_ENV",
     "Span",
     "Telemetry",
+    "append_history",
     "build_report",
+    "compare_metrics",
+    "event_log_errors",
+    "extract_metrics",
+    "history_record",
+    "parse_tolerance",
     "render_report",
+    "synthetic_slowdown",
+    "to_chrome_trace",
+    "to_event_log",
     "validate_report",
     "validation_errors",
+    "write_chrome_trace",
+    "write_event_log",
 ]

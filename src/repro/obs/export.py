@@ -1,0 +1,296 @@
+"""Export run reports: Chrome ``trace_event`` JSON and a JSONL event log.
+
+A run report (:mod:`repro.obs.report`) is one nested JSON document; this
+module renders it into the two formats external tooling actually consumes:
+
+- **Chrome trace** (:func:`to_chrome_trace`) — the ``trace_event`` format
+  understood by ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_.
+  Every span becomes a complete (``"ph": "X"``) event with microsecond
+  ``ts``/``dur`` and its attributes under ``args``; final counter values
+  become ``"C"`` events at end-of-trace, so the per-phase cost story of
+  the paper's Section VI is viewable as a flame chart.
+- **Structured event log** (:func:`to_event_log`) — a flat list of
+  records with the stable schema ``{ts, event, phase, attrs}``, one
+  ``span.start``/``span.end`` pair per span plus one ``metric`` record
+  per final instrument value, ordered by timestamp. JSONL on disk
+  (:func:`write_event_log`), one JSON object per line — greppable and
+  ingestible by any log pipeline.
+
+``python -m repro.obs.export report.json --format chrome --out trace.json``
+is the command-line front end; CI exports the smoke run's trace with it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections.abc import Iterator
+
+from repro.obs.report import validate_report
+
+#: The ``event`` values a structured log may contain.
+EVENT_TYPES = ("span.start", "span.end", "metric")
+
+#: Required keys of one event-log record.
+EVENT_LOG_FIELDS = ("ts", "event", "phase", "attrs")
+
+_SCALAR_TYPES = (bool, int, float, str)
+
+
+def iter_spans(
+    trace: list[dict], parent: str | None = None, depth: int = 0
+) -> Iterator[tuple[dict, int, str | None]]:
+    """Depth-first pre-order walk: yields ``(span, depth, parent_name)``.
+
+    Pre-order over one telemetry's trace is also chronological: a span
+    starts no earlier than its parent and no later than any later
+    sibling, so consumers get parent-before-child *and* monotonic start
+    times from a single walk.
+    """
+    for span in trace:
+        yield span, depth, parent
+        yield from iter_spans(span["children"], span["name"], depth + 1)
+
+
+def _trace_end(trace: list[dict]) -> float:
+    """Latest end time (seconds from the trace origin) of any span."""
+    end = 0.0
+    for span, _, _ in iter_spans(trace):
+        end = max(end, span["start"] + span["duration_seconds"])
+    return end
+
+
+def to_chrome_trace(document: dict, *, pid: int = 1, tid: int = 1) -> dict:
+    """Render a run report as a Chrome ``trace_event`` document.
+
+    All span events share one *pid*/*tid* (a run report is a single
+    logical thread of work); metadata events name the process after the
+    producing tool from the report's context. Span timestamps are the
+    report's origin-relative start times in microseconds, so the trace
+    loads with t=0 at pipeline start.
+    """
+    context = document.get("context") or {}
+    process_name = str(context.get("tool", "repro"))
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": process_name},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "pipeline"},
+        },
+    ]
+    trace = document.get("trace") or []
+    span_events = []
+    for span, depth, parent in iter_spans(trace):
+        args = dict(span["attributes"])
+        args["depth"] = depth
+        if parent is not None:
+            args["parent"] = parent
+        span_events.append(
+            {
+                "ph": "X",
+                "name": span["name"],
+                "cat": "span",
+                "ts": span["start"] * 1e6,
+                "dur": span["duration_seconds"] * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    # Pre-order emission is already chronological per trace tree; the
+    # stable sort merges multiple roots and keeps parents ahead of
+    # children that share a start timestamp.
+    span_events.sort(key=lambda event: event["ts"])
+    events.extend(span_events)
+    end_ts = _trace_end(trace) * 1e6
+    metrics = document.get("metrics") or {}
+    for name, value in sorted((metrics.get("counters") or {}).items()):
+        events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "ts": end_ts,
+                "pid": pid,
+                "tid": tid,
+                "args": {"value": value},
+            }
+        )
+    for name, value in sorted((metrics.get("gauges") or {}).items()):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue  # counter tracks need numbers; string gauges stay in the event log
+        events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "ts": end_ts,
+                "pid": pid,
+                "tid": tid,
+                "args": {"value": value},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_event_log(document: dict) -> list[dict]:
+    """Flatten a run report into ordered ``{ts, event, phase, attrs}`` records.
+
+    Spans contribute a ``span.start`` (carrying the span's attributes
+    plus ``depth``/``parent``) and a ``span.end`` (carrying
+    ``duration_seconds`` and, for failed spans, the ``error`` attribute);
+    final metric values land as ``metric`` records stamped at
+    end-of-trace. Records are sorted by timestamp with ties broken by
+    emission order, so starts precede ends and parents precede children.
+    """
+    records: list[tuple[float, int, dict]] = []
+    sequence = 0
+
+    def push(ts: float, event: str, phase: str, attrs: dict) -> None:
+        nonlocal sequence
+        records.append(
+            (ts, sequence, {"ts": ts, "event": event, "phase": phase, "attrs": attrs})
+        )
+        sequence += 1
+
+    trace = document.get("trace") or []
+    for span, depth, parent in iter_spans(trace):
+        start_attrs = dict(span["attributes"])
+        start_attrs["depth"] = depth
+        if parent is not None:
+            start_attrs["parent"] = parent
+        push(span["start"], "span.start", span["name"], start_attrs)
+        end_attrs = {"duration_seconds": span["duration_seconds"]}
+        if "error" in span["attributes"]:
+            end_attrs["error"] = span["attributes"]["error"]
+        push(
+            span["start"] + span["duration_seconds"],
+            "span.end",
+            span["name"],
+            end_attrs,
+        )
+    end_ts = _trace_end(trace)
+    metrics = document.get("metrics") or {}
+    for name, value in sorted((metrics.get("counters") or {}).items()):
+        push(end_ts, "metric", name, {"kind": "counter", "value": value})
+    for name, value in sorted((metrics.get("gauges") or {}).items()):
+        push(end_ts, "metric", name, {"kind": "gauge", "value": value})
+    for name, stats in sorted((metrics.get("histograms") or {}).items()):
+        push(end_ts, "metric", name, {"kind": "histogram", **stats})
+    records.sort(key=lambda item: (item[0], item[1]))
+    return [record for _, _, record in records]
+
+
+def event_log_errors(events) -> list[str]:
+    """Every way *events* deviates from the event-log schema."""
+    errors: list[str] = []
+    if not isinstance(events, list):
+        return ["event log: must be a list of records"]
+    last_ts = None
+    for index, record in enumerate(events):
+        path = f"events[{index}]"
+        if not isinstance(record, dict):
+            errors.append(f"{path}: must be an object")
+            continue
+        missing = [key for key in EVENT_LOG_FIELDS if key not in record]
+        if missing:
+            errors.append(f"{path}: missing {missing}")
+            continue
+        ts = record["ts"]
+        if isinstance(ts, bool) or not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{path}.ts: must be a number >= 0")
+        elif last_ts is not None and ts < last_ts:
+            errors.append(f"{path}.ts: not monotonically non-decreasing")
+        else:
+            last_ts = ts
+        if record["event"] not in EVENT_TYPES:
+            errors.append(f"{path}.event: must be one of {EVENT_TYPES}")
+        phase = record["phase"]
+        if not isinstance(phase, str) or not phase:
+            errors.append(f"{path}.phase: must be a non-empty string")
+        attrs = record["attrs"]
+        if not isinstance(attrs, dict):
+            errors.append(f"{path}.attrs: must be an object")
+        else:
+            for key, value in attrs.items():
+                if value is not None and not isinstance(value, _SCALAR_TYPES):
+                    errors.append(
+                        f"{path}.attrs[{key!r}]: must be a JSON scalar or null"
+                    )
+    return errors
+
+
+def write_chrome_trace(document: dict, path: str) -> dict:
+    """Serialize :func:`to_chrome_trace` of *document* to *path*."""
+    trace = to_chrome_trace(document)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=2)
+        handle.write("\n")
+    return trace
+
+
+def write_event_log(document: dict, path: str) -> list[dict]:
+    """Serialize :func:`to_event_log` of *document* to *path* as JSONL."""
+    events = to_event_log(document)
+    with open(path, "w") as handle:
+        for record in events:
+            handle.write(json.dumps(record) + "\n")
+    return events
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Convert a run-report file; the ``python -m repro.obs.export`` CLI."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Export a repro.obs run report as a Chrome trace "
+        "(chrome://tracing / Perfetto) or a JSONL structured event log.",
+    )
+    parser.add_argument("report", help="path to a run-report JSON file")
+    parser.add_argument(
+        "--format",
+        choices=("chrome", "events"),
+        default="chrome",
+        help="output format (default: chrome)",
+    )
+    parser.add_argument(
+        "--out",
+        default="-",
+        metavar="FILE",
+        help="output path ('-' for stdout, the default)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.report) as handle:
+            document = json.load(handle)
+        validate_report(document)
+    except (OSError, json.JSONDecodeError, ValueError) as error:
+        print(f"repro.obs.export: {args.report}: {error}", file=sys.stderr)
+        return 1
+    if args.format == "chrome":
+        payload = to_chrome_trace(document)
+        rendered = json.dumps(payload, indent=2) + "\n"
+        produced = f"{len(payload['traceEvents'])} trace events"
+    else:
+        events = to_event_log(document)
+        rendered = "".join(json.dumps(record) + "\n" for record in events)
+        produced = f"{len(events)} log events"
+    if args.out == "-":
+        sys.stdout.write(rendered)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {produced} to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -22,8 +22,14 @@ import sys
 
 RUN_REPORT_KIND = "repro.obs.run-report"
 RUN_REPORT_VERSION = 1
+#: Backwards-compatible schema revision within major version 1. Minor 1
+#: added histogram percentiles (p50/p95/p99) and the ``minor_version``
+#: field itself; the validator accepts v1.0 documents (no
+#: ``minor_version``, no percentile keys) unchanged.
+RUN_REPORT_MINOR_VERSION = 1
 
 _SCALAR_TYPES = (bool, int, float, str)
+_PERCENTILE_KEYS = ("p50", "p95", "p99")
 
 #: JSON-Schema rendering of the report shape (documentation-grade; the
 #: executable contract is :func:`validate_report`, which checks the same
@@ -36,6 +42,7 @@ RUN_REPORT_SCHEMA = {
     "properties": {
         "report": {"const": RUN_REPORT_KIND},
         "version": {"const": RUN_REPORT_VERSION},
+        "minor_version": {"type": "integer", "minimum": 0},
         "context": {"type": "object"},
         "trace": {"type": "array", "items": {"$ref": "#/$defs/span"}},
         "metrics": {
@@ -88,6 +95,10 @@ RUN_REPORT_SCHEMA = {
                 "mean": {"type": "number"},
                 "min": {"type": ["number", "null"]},
                 "max": {"type": ["number", "null"]},
+                # v1.1 additions; absent from v1.0 documents.
+                "p50": {"type": ["number", "null"]},
+                "p95": {"type": ["number", "null"]},
+                "p99": {"type": ["number", "null"]},
             },
         },
     },
@@ -99,6 +110,7 @@ def build_report(telemetry, context: dict | None = None) -> dict:
     return {
         "report": RUN_REPORT_KIND,
         "version": RUN_REPORT_VERSION,
+        "minor_version": RUN_REPORT_MINOR_VERSION,
         "context": dict(context or {}),
         "trace": telemetry.trace(),
         "metrics": telemetry.metrics.snapshot(),
@@ -186,6 +198,17 @@ def _check_metrics(metrics, errors: list[str]) -> None:
                         f"metrics.histograms[{name!r}].{key}: "
                         "must be a number or null"
                     )
+            # Percentiles are a v1.1 addition: optional, but typed when
+            # present, so v1.0 documents keep validating.
+            for key in _PERCENTILE_KEYS:
+                if key not in value:
+                    continue
+                quantile = value[key]
+                if quantile is not None and not _is_number(quantile):
+                    errors.append(
+                        f"metrics.histograms[{name!r}].{key}: "
+                        "must be a number or null"
+                    )
 
 
 def validation_errors(document) -> list[str]:
@@ -197,6 +220,11 @@ def validation_errors(document) -> list[str]:
         errors.append(f"report: must be {RUN_REPORT_KIND!r}")
     if document.get("version") != RUN_REPORT_VERSION:
         errors.append(f"version: must be {RUN_REPORT_VERSION}")
+    minor = document.get("minor_version")
+    if minor is not None and (
+        not isinstance(minor, int) or isinstance(minor, bool) or minor < 0
+    ):
+        errors.append("minor_version: must be an integer >= 0 when present")
     if not isinstance(document.get("context"), dict):
         errors.append("context: must be an object")
     trace = document.get("trace")
@@ -240,7 +268,10 @@ def _render_span(span: dict, depth: int, lines: list[str]) -> None:
 
 def render_report(document: dict) -> str:
     """The human-readable summary table of a run report."""
-    lines = [f"run report v{document['version']}"]
+    version = f"v{document['version']}"
+    if document.get("minor_version") is not None:
+        version += f".{document['minor_version']}"
+    lines = [f"run report {version}"]
     context = document.get("context") or {}
     if context:
         rendered = " ".join(
@@ -269,10 +300,18 @@ def render_report(document: dict) -> str:
     if histograms:
         lines.append("histograms:")
         for name, stats in sorted(histograms.items()):
-            lines.append(
+            line = (
                 f"  {name}  count={stats['count']} mean={stats['mean']:.4g} "
                 f"min={stats['min']} max={stats['max']}"
             )
+            percentiles = " ".join(
+                f"{key}={stats[key]:.4g}"
+                for key in _PERCENTILE_KEYS
+                if stats.get(key) is not None
+            )
+            if percentiles:
+                line += " " + percentiles
+            lines.append(line)
     return "\n".join(lines)
 
 

@@ -15,8 +15,13 @@ Everything here is plain stdlib. The design splits into two halves:
 
 from __future__ import annotations
 
+import math
+import random
 import time
+import zlib
 from typing import Any
+
+from repro.obs.progress import NULL_PROGRESS, ProgressEvent, ProgressSink
 
 #: Attribute values a span or gauge may carry (JSON scalars).
 Scalar = bool | int | float | str
@@ -130,10 +135,27 @@ class Gauge:
         self.value = value
 
 
-class Histogram:
-    """Streaming summary of observed values: count/total/min/max."""
+#: Values retained per histogram for percentile estimation. Up to this
+#: many observations the percentiles are exact; beyond it they come from
+#: a uniform reservoir sample (algorithm R), which bounds memory.
+HISTOGRAM_RESERVOIR_SIZE = 512
 
-    __slots__ = ("name", "count", "total", "min", "max")
+#: The percentiles every snapshot reports.
+HISTOGRAM_PERCENTILES = (50, 95, 99)
+
+
+class Histogram:
+    """Streaming summary of observed values: count/total/min/max/pXX.
+
+    Percentiles are computed over a bounded reservoir
+    (:data:`HISTOGRAM_RESERVOIR_SIZE` values, uniform over the stream).
+    The replacement RNG is seeded from the instrument name, so a given
+    observation sequence always yields the same reservoir — runs are
+    reproducible without threading the project RNG through every
+    ``observe`` call.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_reservoir", "_rng")
 
     def __init__(self, name: str):
         self.name = name
@@ -141,22 +163,41 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._reservoir: list[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode()))
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if len(self._reservoir) < HISTOGRAM_RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < HISTOGRAM_RESERVOIR_SIZE:
+                self._reservoir[slot] = value
+
+    def percentile(self, q: float) -> float | None:
+        """The nearest-rank *q*-th percentile of the (sampled) stream."""
+        if not self._reservoir:
+            return None
+        ordered = sorted(self._reservoir)
+        rank = max(math.ceil(q / 100.0 * len(ordered)), 1) - 1
+        return ordered[min(rank, len(ordered) - 1)]
 
     def snapshot(self) -> dict:
         mean = self.total / self.count if self.count else 0.0
-        return {
+        summary = {
             "count": self.count,
             "total": self.total,
             "mean": mean,
             "min": self.min,
             "max": self.max,
         }
+        for q in HISTOGRAM_PERCENTILES:
+            summary[f"p{q}"] = self.percentile(q)
+        return summary
 
 
 class MetricsRegistry:
@@ -219,6 +260,9 @@ class Telemetry:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self._origin = time.perf_counter()
+        #: Attached progress sink (see :mod:`repro.obs.progress`). The
+        #: default discards events before they are even constructed.
+        self.progress: ProgressSink = NULL_PROGRESS
 
     # -- spans ------------------------------------------------------------
     def span(self, name: str, **attributes: Scalar) -> Span:
@@ -253,6 +297,26 @@ class Telemetry:
 
     def histogram(self, name: str) -> Histogram:
         return self.metrics.histogram(name)
+
+    # -- progress ---------------------------------------------------------
+    def emit_progress(
+        self,
+        phase: str,
+        completed: int,
+        total: int | None = None,
+        unit: str = "",
+        **attrs: Scalar,
+    ) -> None:
+        """Report phase advancement to the attached progress sink.
+
+        With the default :data:`~repro.obs.progress.NULL_PROGRESS` sink
+        this is a single identity check — hot loops may call it per chunk
+        or per class pair without measurable overhead.
+        """
+        if self.progress is not NULL_PROGRESS:
+            self.progress.emit(
+                ProgressEvent(phase, completed, total, unit, attrs)
+            )
 
     # -- reports ----------------------------------------------------------
     def run_report(self, context: dict | None = None) -> dict:
@@ -304,8 +368,14 @@ class _NoopHistogram:
     def observe(self, value: float) -> None:
         pass
 
+    def percentile(self, q: float):
+        return None
+
     def snapshot(self) -> dict:
-        return {"count": 0, "total": 0.0, "mean": 0.0, "min": None, "max": None}
+        summary = {"count": 0, "total": 0.0, "mean": 0.0, "min": None, "max": None}
+        for q in HISTOGRAM_PERCENTILES:
+            summary[f"p{q}"] = None
+        return summary
 
 
 _NOOP_COUNTER = _NoopCounter()

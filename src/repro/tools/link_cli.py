@@ -226,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a structured run report (span tree + metrics) as JSON",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live phase progress on stderr (a status bar on a TTY, "
+        "periodic log lines otherwise)",
+    )
     return parser
 
 
@@ -252,20 +258,29 @@ def main(argv: list[str] | None = None) -> int:
             MatchAttribute(spec.name, hierarchies[spec.name], spec.theta)
             for spec in args.attrs
         )
-        telemetry = Telemetry() if args.metrics_out else NOOP_TELEMETRY
+        telemetry = (
+            Telemetry() if (args.metrics_out or args.progress) else NOOP_TELEMETRY
+        )
+        if args.progress:
+            from repro.obs import ProgressRenderer
+
+            telemetry.progress = ProgressRenderer()
         anonymizer = ANONYMIZERS[args.anonymizer](hierarchies)
         qids = tuple(spec.name for spec in args.attrs)
-        with telemetry.span("anonymize", algorithm=args.anonymizer, k=args.k):
-            left_gen = anonymizer.anonymize(left, qids, args.k)
-            right_gen = anonymizer.anonymize(right, qids, args.k)
-        config = LinkageConfig(
-            rule,
-            allowance=args.allowance,
-            heuristic=heuristic_by_name(args.heuristic),
-            engine=args.engine,
-            telemetry=telemetry,
-        )
-        result = HybridLinkage(config).run(left_gen, right_gen)
+        try:
+            with telemetry.span("anonymize", algorithm=args.anonymizer, k=args.k):
+                left_gen = anonymizer.anonymize(left, qids, args.k)
+                right_gen = anonymizer.anonymize(right, qids, args.k)
+            config = LinkageConfig(
+                rule,
+                allowance=args.allowance,
+                heuristic=heuristic_by_name(args.heuristic),
+                engine=args.engine,
+                telemetry=telemetry,
+            )
+            result = HybridLinkage(config).run(left_gen, right_gen)
+        finally:
+            telemetry.progress.close()
     except ReproError as error:
         print(f"repro-link: {error}", file=sys.stderr)
         return 1

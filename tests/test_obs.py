@@ -122,7 +122,38 @@ class TestMetrics:
         stats = telemetry.metrics.snapshot()["histograms"]["rows"]
         assert stats == {
             "count": 3, "total": 12.0, "mean": 4.0, "min": 2.0, "max": 6.0,
+            "p50": 4.0, "p95": 6.0, "p99": 6.0,
         }
+
+    def test_histogram_percentiles_exact_below_reservoir(self):
+        histogram = Telemetry().histogram("exact")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(95) == 95.0
+        assert histogram.percentile(99) == 99.0
+
+    def test_histogram_reservoir_is_deterministic_and_bounded(self):
+        from repro.obs import HISTOGRAM_RESERVOIR_SIZE
+
+        def run():
+            histogram = Telemetry().histogram("stream")
+            for value in range(5 * HISTOGRAM_RESERVOIR_SIZE):
+                histogram.observe(float(value))
+            return histogram
+
+        first, second = run(), run()
+        assert len(first._reservoir) == HISTOGRAM_RESERVOIR_SIZE
+        assert first._reservoir == second._reservoir
+        # The sampled median of a uniform ramp lands near the true median.
+        midpoint = 5 * HISTOGRAM_RESERVOIR_SIZE / 2
+        assert abs(first.percentile(50) - midpoint) < midpoint / 2
+
+    def test_empty_histogram_percentiles_are_null(self):
+        stats = Telemetry().histogram("empty").snapshot()
+        assert stats["p50"] is None
+        assert stats["p95"] is None
+        assert stats["p99"] is None
 
     def test_instruments_are_shared_by_name(self):
         telemetry = Telemetry()
@@ -184,6 +215,30 @@ class TestRunReport:
         telemetry = self._sample()
         assert telemetry.run_report({"a": 1}) == build_report(telemetry, {"a": 1})
 
+    def test_minor_version_stamped_and_optional(self):
+        from repro.obs import RUN_REPORT_MINOR_VERSION
+
+        document = build_report(self._sample(), {})
+        assert document["minor_version"] == RUN_REPORT_MINOR_VERSION
+        # A v1.0 document (no minor_version, no percentile keys) still
+        # validates — the minor bump is backwards compatible.
+        del document["minor_version"]
+        for stats in document["metrics"]["histograms"].values():
+            for key in ("p50", "p95", "p99"):
+                stats.pop(key, None)
+        assert validate_report(document) is document
+
+    def test_minor_version_must_be_nonnegative_int(self):
+        document = build_report(self._sample(), {})
+        document["minor_version"] = -1
+        assert any(
+            "minor_version" in error for error in validation_errors(document)
+        )
+        document["minor_version"] = True
+        assert any(
+            "minor_version" in error for error in validation_errors(document)
+        )
+
     def test_write_report(self, tmp_path):
         telemetry = self._sample()
         path = tmp_path / "report.json"
@@ -206,6 +261,10 @@ class TestRunReport:
             (
                 lambda d: d["metrics"]["histograms"]["rows"].update(count=-1),
                 "count",
+            ),
+            (
+                lambda d: d["metrics"]["histograms"]["rows"].update(p50="mid"),
+                "p50",
             ),
         ],
     )
