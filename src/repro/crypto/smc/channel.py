@@ -28,10 +28,18 @@ QUERY = "query"
 
 @dataclass
 class Transcript:
-    """Accumulated communication and computation costs of a protocol run."""
+    """Accumulated communication and computation costs of a protocol run.
+
+    ``bytes_sent`` is the protocol-level *estimate* (ciphertext and key
+    sizes, as the in-process simulation accounts them). ``bytes_on_wire``
+    is the *measured* size of serialized ``repro.net`` frames; it stays 0
+    for in-process runs, and the gap between the two is part of the run
+    report (``channel.bytes_sent`` vs ``net.bytes_on_wire``).
+    """
 
     messages: int = 0
     bytes_sent: int = 0
+    bytes_on_wire: int = 0
     operations: Counter = field(default_factory=Counter)
     #: Optional :class:`repro.obs.Telemetry` mirror: when bound, every
     #: message and operation also lands in the shared metrics registry
@@ -54,6 +62,8 @@ class Transcript:
             telemetry.counter("channel.messages").add(self.messages)
         if self.bytes_sent:
             telemetry.counter("channel.bytes_sent").add(self.bytes_sent)
+        if self.bytes_on_wire:
+            telemetry.counter("net.bytes_on_wire").add(self.bytes_on_wire)
         for name, count in self.operations.items():
             telemetry.counter(f"crypto.{name}").add(count)
 
@@ -73,11 +83,24 @@ class Transcript:
         if self.telemetry is not None:
             self.telemetry.counter(f"crypto.{name}").add(count)
 
+    def record_wire_bytes(self, size_bytes: int) -> None:
+        """Account for *size_bytes* of actual serialized frame traffic.
+
+        Only the ``repro.net`` transport calls this; it measures what
+        really crossed a socket (framing and handshake overhead included),
+        next to the protocol-level estimate kept by
+        :meth:`record_message`.
+        """
+        self.bytes_on_wire += size_bytes
+        if self.telemetry is not None:
+            self.telemetry.counter("net.bytes_on_wire").add(size_bytes)
+
     def merged_with(self, other: "Transcript") -> "Transcript":
         """Combine two transcripts (e.g. across protocol invocations)."""
         merged = Transcript(
             messages=self.messages + other.messages,
             bytes_sent=self.bytes_sent + other.bytes_sent,
+            bytes_on_wire=self.bytes_on_wire + other.bytes_on_wire,
         )
         merged.operations = self.operations + other.operations
         return merged
@@ -87,8 +110,11 @@ class Transcript:
         ops = ", ".join(
             f"{name}={count}" for name, count in sorted(self.operations.items())
         )
+        wire = (
+            f" ({self.bytes_on_wire} on wire)" if self.bytes_on_wire else ""
+        )
         return (
-            f"{self.messages} messages, {self.bytes_sent} bytes"
+            f"{self.messages} messages, {self.bytes_sent} bytes{wire}"
             + (f", {ops}" if ops else "")
         )
 

@@ -34,3 +34,30 @@ class ProtocolError(ReproError):
 
 class ConfigurationError(ReproError):
     """A linkage configuration is inconsistent or out of range."""
+
+
+class NetError(ReproError):
+    """A networked protocol run failed (connection, timeout, session)."""
+
+
+class TransportError(NetError):
+    """The connection itself failed: dial, timeout, or mid-stream death.
+
+    Deliberately distinct from its :class:`NetError` siblings — transport
+    failures are the *recoverable* kind (reconnect and resume), whereas
+    :class:`WireError` / :class:`SessionError` / :class:`HandshakeError`
+    mean one side is broken or hostile and retrying cannot help. Recovery
+    paths catch exactly ``(ConnectionError, TransportError, OSError)``.
+    """
+
+
+class WireError(NetError):
+    """A frame or message violates the ``repro.net`` wire format."""
+
+
+class HandshakeError(NetError):
+    """The peers disagree on protocol name, version, or schema."""
+
+
+class SessionError(NetError):
+    """An SMC session was driven out of order or cannot be resumed."""

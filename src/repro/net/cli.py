@@ -1,0 +1,175 @@
+"""``repro-party``: serve one data holder over the network.
+
+Each holder runs this on its own machine against its own CSV; a
+``repro-link --remote alice=HOST:PORT,bob=HOST:PORT`` invocation then
+drives the three-party protocol against the pair of them.
+
+Usage::
+
+    repro-party --name alice --listen 0.0.0.0:7001 alice.csv \\
+        --attr age=continuous:0.05 --attr city=categorical:0.5 \\
+        --hierarchies catalog.json --k 16
+
+Unlike the local pipeline, a holder cannot derive hierarchies from "the
+union of both datasets" — it only has its own. All parties must therefore
+load the *same* ``--hierarchies`` catalog (see :mod:`repro.data.vgh_io`),
+and it must cover every ``--attr``; that shared catalog is what makes a
+networked run bit-identical to a local one over the merged data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.errors import ReproError
+from repro.net.faults import FaultInjector, FaultPlan
+from repro.net.server import DataHolderServer
+from repro.net.transport import NetRuntime  # noqa: F401  (re-export for tests)
+from repro.obs import NOOP_TELEMETRY, Telemetry
+from repro.tools.link_cli import ANONYMIZERS, load_csv, parse_attr_spec
+
+
+def parse_listen(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (port 0 asks the OS for an ephemeral port)."""
+    host, _, port_text = text.rpartition(":")
+    if not host:
+        raise argparse.ArgumentTypeError(
+            f"bad --listen {text!r}; expected HOST:PORT"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad port {port_text!r} in --listen {text!r}"
+        ) from None
+    return host, port
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-party",
+        description="Serve one data holder's side of the three-party "
+        "private record linkage protocol.",
+    )
+    parser.add_argument("csv", help="this holder's records")
+    parser.add_argument(
+        "--name", required=True, help="party name (e.g. alice, bob)"
+    )
+    parser.add_argument(
+        "--listen",
+        type=parse_listen,
+        default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="listen address; port 0 picks an ephemeral port "
+        "(default 127.0.0.1:0)",
+    )
+    parser.add_argument(
+        "--attr",
+        dest="attrs",
+        type=parse_attr_spec,
+        action="append",
+        required=True,
+        metavar="NAME=KIND:THETA",
+        help="matching attribute spec; must match the querying party's",
+    )
+    parser.add_argument(
+        "--hierarchies",
+        required=True,
+        metavar="FILE",
+        help="shared JSON hierarchy catalog; must cover every --attr "
+        "(holders cannot derive hierarchies from data they do not hold)",
+    )
+    parser.add_argument("--k", type=int, default=16, help="anonymity requirement")
+    parser.add_argument(
+        "--anonymizer",
+        choices=sorted(ANONYMIZERS),
+        default="maxent",
+        help="anonymization algorithm (must match the other holder's)",
+    )
+    parser.add_argument(
+        "--fault",
+        default=None,
+        metavar="SPEC",
+        help="inject faults, e.g. drop_after=5[,times=2] "
+        "(overrides REPRO_NET_FAULT)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a run report (net.* counters included) on shutdown",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    specs = {spec.name: spec for spec in args.attrs}
+    try:
+        from repro.data.vgh_io import load_catalog
+
+        catalog = load_catalog(args.hierarchies)
+        missing = [name for name in specs if name not in catalog]
+        if missing:
+            raise ReproError(
+                f"hierarchy catalog {args.hierarchies} does not cover "
+                f"{missing}; every --attr needs a shared hierarchy"
+            )
+        relation = load_csv(args.csv, specs)
+        for name in specs:
+            if name not in relation.schema:
+                raise ReproError(
+                    f"attribute {name!r} not found in {args.csv}'s header"
+                )
+        hierarchies = {name: catalog[name] for name in specs}
+        anonymizer = ANONYMIZERS[args.anonymizer](hierarchies)
+        fault = (
+            FaultInjector(FaultPlan.parse(args.fault)) if args.fault else None
+        )
+        telemetry = Telemetry() if args.metrics_out else NOOP_TELEMETRY
+        host, port = args.listen
+        server = DataHolderServer(
+            args.name,
+            relation,
+            anonymizer,
+            tuple(specs),
+            args.k,
+            host=host,
+            port=port,
+            telemetry=telemetry,
+            fault=fault,
+        )
+        asyncio.run(_serve(server, args, telemetry))
+    except KeyboardInterrupt:
+        return 0
+    except ReproError as error:
+        print(f"repro-party: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+async def _serve(
+    server: DataHolderServer, args, telemetry: Telemetry
+) -> None:
+    await server.start()
+    # The readiness line orchestration scripts (and CI) wait for:
+    print(f"repro-party: {server.name} listening on {server.host}:{server.port}")
+    sys.stdout.flush()
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - signal-driven
+        pass
+    finally:
+        await server.stop()
+        if args.metrics_out:
+            telemetry.write_report(
+                args.metrics_out,
+                context={"tool": "repro-party", "party": server.name},
+            )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

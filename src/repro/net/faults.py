@@ -1,0 +1,96 @@
+"""Deterministic fault injection for the ``repro.net`` transport.
+
+The resume machinery (reconnect with backoff, batch replay with
+server-side deduplication) is only trustworthy if a test can kill a
+connection at a precise point and prove the final result unchanged. The
+hook is the ``REPRO_NET_FAULT`` environment variable::
+
+    REPRO_NET_FAULT=drop_after=5          # one drop, before the 5th frame
+    REPRO_NET_FAULT=drop_after=5,times=2  # re-arm once after the first drop
+
+``drop_after=N`` aborts a connection in place of sending its *N*-th
+frame, so the peer's request was already processed but the response never
+arrives — exercising the replay/deduplication path, the hardest resume
+case. ``times`` bounds the total number of drops per injector (default
+1), so a run always makes progress.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Environment variable holding the fault specification.
+FAULT_ENV = "REPRO_NET_FAULT"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed fault specification."""
+
+    drop_after: int
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.drop_after < 1:
+            raise ConfigurationError("drop_after must be >= 1")
+        if self.times < 1:
+            raise ConfigurationError("times must be >= 1")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``drop_after=N[,times=M]``."""
+        fields: dict[str, int] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            if key not in ("drop_after", "times") or not value:
+                raise ConfigurationError(
+                    f"bad {FAULT_ENV} entry {part!r}; expected "
+                    "drop_after=N[,times=M]"
+                )
+            try:
+                fields[key] = int(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{FAULT_ENV}: {key} must be an integer, got {value!r}"
+                ) from None
+        if "drop_after" not in fields:
+            raise ConfigurationError(
+                f"{FAULT_ENV} spec {spec!r} has no drop_after=N"
+            )
+        return cls(fields["drop_after"], fields.get("times", 1))
+
+
+class FaultInjector:
+    """Shared drop budget across all connections of one party.
+
+    Each connection reports its own frame count; the injector decides
+    whether that frame should instead abort the connection, and spends
+    one unit of the ``times`` budget when it does.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.drops_injected = 0
+
+    def should_drop(self, frame_index: int) -> bool:
+        """True when the *frame_index*-th send on a connection must die."""
+        if self.drops_injected >= self.plan.times:
+            return False
+        if frame_index >= self.plan.drop_after:
+            self.drops_injected += 1
+            return True
+        return False
+
+
+def injector_from_env(environ=os.environ) -> FaultInjector | None:
+    """Build an injector from :data:`FAULT_ENV`, or ``None`` when unset."""
+    spec = environ.get(FAULT_ENV)
+    if not spec:
+        return None
+    return FaultInjector(FaultPlan.parse(spec))

@@ -1,0 +1,261 @@
+"""Asyncio transport: framed connections, backoff, the loop-thread runtime.
+
+:class:`FramedConnection` wraps one ``(StreamReader, StreamWriter)`` pair
+with the ``repro.net`` framing, per-message timeouts, measured byte
+accounting (every frame's real size lands in ``net.*`` counters and, when
+a :class:`~repro.crypto.smc.channel.Transcript` is attached, in its
+``bytes_on_wire`` field), and the fault-injection hook.
+
+:func:`open_framed_connection` dials with bounded exponential backoff —
+the same policy the querying party uses to *re*-dial after a mid-session
+drop, so connection establishment and crash recovery share one code path.
+
+:class:`NetRuntime` runs an event loop on a daemon thread so synchronous
+callers (the CLI, the test suite, :class:`repro.protocol.QueryingParty`'s
+unchanged blocking logic) can drive async parties without owning a loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+
+from repro.crypto.smc.channel import Transcript
+from repro.errors import TransportError
+from repro.net.faults import FaultInjector
+from repro.net.wire import (
+    FRAME_HEADER,
+    decode_frame_length,
+    decode_frame_payload,
+    encode_frame,
+)
+from repro.obs import NOOP_TELEMETRY, Telemetry
+
+#: Default per-message timeout (seconds) for sends and receives.
+DEFAULT_TIMEOUT = 30.0
+
+#: Reconnect/backoff policy defaults.
+DEFAULT_ATTEMPTS = 6
+BACKOFF_BASE_DELAY = 0.05
+BACKOFF_MAX_DELAY = 2.0
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded exponential backoff for (re)connect attempts."""
+
+    attempts: int = DEFAULT_ATTEMPTS
+    base_delay: float = BACKOFF_BASE_DELAY
+    max_delay: float = BACKOFF_MAX_DELAY
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry *attempt* (0-based)."""
+        return min(self.base_delay * (2**attempt), self.max_delay)
+
+
+class FramedConnection:
+    """One framed, accounted, fault-injectable protocol connection."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        telemetry: Telemetry = NOOP_TELEMETRY,
+        transcript: Transcript | None = None,
+        fault: FaultInjector | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._telemetry = telemetry
+        self._transcript = transcript
+        self._fault = fault
+        self.timeout = timeout
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def _account(self, size: int, direction: str) -> None:
+        self._telemetry.counter(f"net.frames_{direction}").add(1)
+        if self._transcript is not None:
+            # The transcript mirrors into ``net.bytes_on_wire`` itself
+            # when telemetry is bound; adding here too would double-count.
+            self._transcript.record_wire_bytes(size)
+        else:
+            self._telemetry.counter("net.bytes_on_wire").add(size)
+
+    async def send(self, message: dict, timeout: float | None = None) -> None:
+        """Frame and send one message (fault hook consulted first)."""
+        frame = encode_frame(message)
+        if self._fault is not None and self._fault.should_drop(
+            self.frames_sent + 1
+        ):
+            self.abort()
+            raise ConnectionResetError(
+                "fault injection dropped the connection"
+            )
+        self._writer.write(frame)
+        try:
+            await asyncio.wait_for(
+                self._writer.drain(), timeout or self.timeout
+            )
+        except asyncio.TimeoutError:
+            self.abort()
+            raise TransportError("send timed out") from None
+        self.frames_sent += 1
+        self._account(len(frame), "sent")
+
+    async def receive(self, timeout: float | None = None) -> dict:
+        """Receive, decode, and shape-check one message.
+
+        Raises :class:`WireError` on malformed frames, ``ConnectionError``
+        (via ``IncompleteReadError``) on peer death, and
+        :class:`TransportError` on timeout.
+        """
+        try:
+            header = await asyncio.wait_for(
+                self._reader.readexactly(FRAME_HEADER.size),
+                timeout or self.timeout,
+            )
+            length = decode_frame_length(header)
+            payload = await asyncio.wait_for(
+                self._reader.readexactly(length), timeout or self.timeout
+            )
+        except asyncio.TimeoutError:
+            self.abort()
+            raise TransportError("receive timed out") from None
+        except asyncio.IncompleteReadError as error:
+            raise ConnectionResetError("peer closed the connection") from error
+        self.frames_received += 1
+        self._account(FRAME_HEADER.size + length, "received")
+        return decode_frame_payload(payload)
+
+    async def request(
+        self, message: dict, timeout: float | None = None
+    ) -> dict:
+        """Send one request and await its (lockstep) response."""
+        await self.send(message, timeout)
+        return await self.receive(timeout)
+
+    def abort(self) -> None:
+        """Tear the connection down immediately (no flush)."""
+        transport = self._writer.transport
+        if transport is not None:
+            transport.abort()
+
+    async def close(self) -> None:
+        """Close gracefully, tolerating an already-dead peer."""
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    @property
+    def is_closing(self) -> bool:
+        return self._writer.is_closing()
+
+
+async def open_framed_connection(
+    host: str,
+    port: int,
+    *,
+    telemetry: Telemetry = NOOP_TELEMETRY,
+    transcript: Transcript | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    backoff: BackoffPolicy | None = None,
+) -> FramedConnection:
+    """Dial ``host:port`` with bounded exponential backoff.
+
+    Raises :class:`TransportError` when every attempt fails.
+    """
+    policy = backoff or BackoffPolicy()
+    last_error: Exception | None = None
+    for attempt in range(policy.attempts):
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout
+            )
+        except (OSError, asyncio.TimeoutError) as error:
+            last_error = error
+            if attempt + 1 < policy.attempts:
+                await asyncio.sleep(policy.delay(attempt))
+            continue
+        return FramedConnection(
+            reader,
+            writer,
+            telemetry=telemetry,
+            transcript=transcript,
+            timeout=timeout,
+        )
+    raise TransportError(
+        f"could not connect to {host}:{port} after {policy.attempts} "
+        f"attempts: {last_error}"
+    )
+
+
+class NetRuntime:
+    """An event loop on a daemon thread, driven synchronously.
+
+    The blocking querying-party logic stays untouched: it calls into the
+    runtime, which executes the coroutine on the loop thread and blocks
+    for the result. Servers started on the same runtime coexist with
+    client connections (tests and the ``--net`` example run all three
+    parties on one loop; production parties are separate processes).
+    """
+
+    def __init__(self):
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "NetRuntime":
+        if self._loop is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.call_soon(started.set)
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-net", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        return self
+
+    def call(self, coroutine, timeout: float | None = None):
+        """Run *coroutine* on the loop thread; return (or raise) its result."""
+        if self._loop is None:
+            raise TransportError("runtime is not started")
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout)
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        loop, thread = self._loop, self._thread
+        self._loop = self._thread = None
+        loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=5.0)
+        loop.close()
+
+    def __enter__(self) -> "NetRuntime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+__all__ = [
+    "BackoffPolicy",
+    "DEFAULT_TIMEOUT",
+    "FramedConnection",
+    "NetRuntime",
+    "open_framed_connection",
+]

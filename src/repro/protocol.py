@@ -155,6 +155,17 @@ class SMCBridge:
             self._right._record_for(right_handle),
         )
 
+    def compare_many(
+        self, pairs: Sequence[tuple[Handle, Handle]]
+    ) -> list[bool]:
+        """Compare a batch of handle pairs; one verdict bit each.
+
+        The querying party hands over whole batches so a networked bridge
+        (:mod:`repro.net`) can amortize round trips; this in-process
+        bridge simply loops. Verdict order matches *pairs* order.
+        """
+        return [self.compare(left, right) for left, right in pairs]
+
     @property
     def invocations(self) -> int:
         """Protocol invocations so far (the paper's cost unit)."""
@@ -187,6 +198,32 @@ class ProtocolOutcome:
     def reported_match_pairs(self) -> int:
         """Verified pairs: blocked-match cross products plus SMC hits."""
         return self.blocked_match_pairs + len(self.matched_handles)
+
+
+def verified_match_handles(
+    outcome: ProtocolOutcome,
+    left_view: PublishedView,
+    right_view: PublishedView,
+) -> list[tuple[Handle, Handle]]:
+    """Every verified matching handle pair of *outcome*.
+
+    Blocking-M class pairs expand to their full cross product (sound by
+    the slack rule, hence true matches); SMC hits are appended as-is.
+    Each holder can resolve its side of these handles locally — this is
+    exactly the artifact the networked querying party ships to the
+    holders at the end of a remote run.
+    """
+    left_sizes = {c.class_id: c.size for c in left_view.classes}
+    right_sizes = {c.class_id: c.size for c in right_view.classes}
+    handles: list[tuple[Handle, Handle]] = []
+    for left_id, right_id in outcome.matched_class_pairs:
+        for left_offset in range(left_sizes[left_id]):
+            for right_offset in range(right_sizes[right_id]):
+                handles.append(
+                    ((left_id, left_offset), (right_id, right_offset))
+                )
+    handles.extend(outcome.matched_handles)
+    return handles
 
 
 class QueryingParty:
@@ -263,33 +300,36 @@ class QueryingParty:
         unknown.sort(key=lambda item: item[:2])
         budget = math.floor(self.allowance * total_pairs)
         for _, __, (left_class, right_class) in unknown:
+            pair_count = left_class.size * right_class.size
             if budget <= 0:
-                remainder = left_class.size * right_class.size
-                outcome.leftover_pairs += remainder
+                outcome.leftover_pairs += pair_count
                 if self.claim_leftovers:
                     outcome.claimed_class_pairs.append(
                         (left_class.class_id, right_class.class_id)
                     )
                 continue
-            for left_offset in range(left_class.size):
-                if budget <= 0:
-                    outcome.leftover_pairs += (
-                        left_class.size - left_offset
-                    ) * right_class.size
-                    break
-                for right_offset in range(right_class.size):
-                    if budget <= 0:
-                        outcome.leftover_pairs += (
-                            right_class.size - right_offset
-                        )
-                        break
-                    budget -= 1
-                    left_handle = (left_class.class_id, left_offset)
-                    right_handle = (right_class.class_id, right_offset)
-                    if bridge.compare(left_handle, right_handle):
-                        outcome.matched_handles.append(
-                            (left_handle, right_handle)
-                        )
+            # Record pairs inside a class pair are indistinguishable from
+            # the anonymized view, so the first `take` of them in row-major
+            # order are compared and the remainder becomes leftovers.
+            take = min(budget, pair_count)
+            budget -= take
+            outcome.leftover_pairs += pair_count - take
+            batch = [
+                (
+                    (left_class.class_id, position // right_class.size),
+                    (right_class.class_id, position % right_class.size),
+                )
+                for position in range(take)
+            ]
+            verdicts = bridge.compare_many(batch)
+            if len(verdicts) != len(batch):
+                raise ProtocolError(
+                    f"bridge returned {len(verdicts)} verdicts for a "
+                    f"batch of {len(batch)} pairs"
+                )
+            for handles, verdict in zip(batch, verdicts):
+                if verdict:
+                    outcome.matched_handles.append(handles)
         outcome.smc_invocations = bridge.invocations
         return outcome
 

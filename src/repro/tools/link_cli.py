@@ -171,8 +171,19 @@ def build_parser() -> argparse.ArgumentParser:
         description="Hybrid private record linkage over two CSV files "
         "(ICDE 2008 method).",
     )
-    parser.add_argument("left", help="first CSV file (D1)")
-    parser.add_argument("right", help="second CSV file (D2)")
+    parser.add_argument(
+        "left", nargs="?", default=None, help="first CSV file (D1)"
+    )
+    parser.add_argument(
+        "right", nargs="?", default=None, help="second CSV file (D2)"
+    )
+    parser.add_argument(
+        "--remote",
+        default=None,
+        metavar="alice=HOST:PORT,bob=HOST:PORT",
+        help="link against remote repro-party holders instead of local "
+        "CSVs (requires --hierarchies; no CSV arguments)",
+    )
     parser.add_argument(
         "--attr",
         dest="attrs",
@@ -235,10 +246,78 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def run_remote(args, parser: argparse.ArgumentParser) -> int:
+    """The ``--remote`` path: drive repro-party holders over the network."""
+    from repro.data.vgh_io import load_catalog
+    from repro.net import QueryingPartyClient, parse_remote_spec
+
+    if args.left or args.right:
+        parser.error("--remote takes no CSV arguments; the holders have the data")
+    if not args.hierarchies:
+        parser.error(
+            "--remote requires --hierarchies: hierarchies are normally "
+            "derived from the union of both datasets, which no single "
+            "party holds — all three parties must share one catalog"
+        )
+    specs = {spec.name: spec for spec in args.attrs}
+    telemetry = Telemetry() if args.metrics_out else NOOP_TELEMETRY
+    try:
+        parties = parse_remote_spec(args.remote)
+        catalog = load_catalog(args.hierarchies)
+        missing = [name for name in specs if name not in catalog]
+        if missing:
+            raise ReproError(
+                f"hierarchy catalog {args.hierarchies} does not cover {missing}"
+            )
+        rule = MatchRule(
+            MatchAttribute(spec.name, catalog[spec.name], spec.theta)
+            for spec in args.attrs
+        )
+        client = QueryingPartyClient(
+            rule,
+            parties["alice"],
+            parties["bob"],
+            allowance=args.allowance,
+            heuristic=heuristic_by_name(args.heuristic),
+            telemetry=telemetry,
+        )
+        result = client.run()
+    except ReproError as error:
+        print(f"repro-link: {error}", file=sys.stderr)
+        return 1
+    print(result.summary())
+    if args.out:
+        with open(args.out, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(("left_index", "right_index"))
+            writer.writerows(result.verified_matches)
+        print(
+            f"wrote {len(result.verified_matches)} verified matches to {args.out}"
+        )
+    if args.metrics_out:
+        telemetry.write_report(
+            args.metrics_out,
+            context={
+                "tool": "repro-link",
+                "mode": "remote",
+                "remote": args.remote,
+                "k": args.k,
+                "allowance": args.allowance,
+                "heuristic": args.heuristic,
+            },
+        )
+        print(f"wrote run report to {args.metrics_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.remote:
+        return run_remote(args, parser)
+    if not args.left or not args.right:
+        parser.error("two CSV files are required (or use --remote)")
     specs = {spec.name: spec for spec in args.attrs}
     try:
         left = load_csv(args.left, specs)

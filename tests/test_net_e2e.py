@@ -1,0 +1,363 @@
+"""Loopback end-to-end tests for the networked three-party protocol.
+
+The load-bearing assertions:
+
+- **parity** — a networked run over real sockets produces a
+  :class:`~repro.protocol.ProtocolOutcome` *equal* to the in-process
+  simulation's, and resolves the same verified matches;
+- **resume** — with fault injection killing alice's connections
+  mid-SMC, the client reconnects, replays, and the final result is
+  unchanged (the server's batch ledger answers replayed batches from
+  cache, so invocation counts stay exact);
+- **accounting** — real serialized frame bytes land in
+  ``net.bytes_on_wire`` / the client transcript, distinct from the
+  in-process channel estimate;
+- **strictness** — a live server answers malformed frames and version
+  skew with error frames and survives garbage.
+"""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.anonymize import MaxEntropyTDS
+from repro.data.adult import generate_adult
+from repro.data.hierarchies import ADULT_QID_ORDER, adult_hierarchies
+from repro.data.partition import build_linkage_pair
+from repro.errors import ConfigurationError
+from repro.linkage.distances import MatchAttribute, MatchRule
+from repro.net import (
+    DataHolderServer,
+    FaultInjector,
+    FaultPlan,
+    NetRuntime,
+    QueryingPartyClient,
+    RemoteParty,
+    parse_remote_spec,
+)
+from repro.net.wire import (
+    FRAME_HEADER,
+    PROTOCOL_VERSION,
+    encode_frame,
+    hello_message,
+)
+from repro.obs import Telemetry
+from repro.protocol import (
+    DataHolder,
+    QueryingParty,
+    SMCBridge,
+    verified_match_handles,
+)
+
+QIDS = ADULT_QID_ORDER[:5]
+ALLOWANCE = 0.01
+K = 16
+
+
+@pytest.fixture(scope="module")
+def net_fixture():
+    catalog = adult_hierarchies()
+    rule = MatchRule(MatchAttribute(name, catalog[name], 0.05) for name in QIDS)
+    pair = build_linkage_pair(generate_adult(300, seed=11), seed=12)
+    return catalog, rule, pair
+
+
+@pytest.fixture(scope="module")
+def reference(net_fixture):
+    """The in-process simulation every networked run must reproduce."""
+    catalog, rule, pair = net_fixture
+    alice = DataHolder("alice", pair.left)
+    bob = DataHolder("bob", pair.right)
+    anonymizer = MaxEntropyTDS(catalog)
+    left_view = alice.publish(anonymizer, QIDS, k=K)
+    right_view = bob.publish(anonymizer, QIDS, k=K)
+    outcome = QueryingParty(rule, allowance=ALLOWANCE).link(
+        left_view, right_view, SMCBridge(alice, bob, rule)
+    )
+    handles = verified_match_handles(outcome, left_view, right_view)
+    matches = sorted(
+        set(
+            zip(
+                alice.resolve([pair_[0] for pair_ in handles]),
+                bob.resolve([pair_[1] for pair_ in handles]),
+            )
+        )
+    )
+    return outcome, matches
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    with NetRuntime() as active:
+        yield active
+
+
+def start_servers(runtime, net_fixture, *, alice_fault=None, bob_fault=None):
+    catalog, _, pair = net_fixture
+    alice = runtime.call(
+        DataHolderServer(
+            "alice", pair.left, MaxEntropyTDS(catalog), QIDS, K,
+            fault=alice_fault,
+        ).start()
+    )
+    bob = runtime.call(
+        DataHolderServer(
+            "bob", pair.right, MaxEntropyTDS(catalog), QIDS, K,
+            fault=bob_fault,
+        ).start()
+    )
+    return alice, bob
+
+
+def stop_servers(runtime, *servers):
+    for server in servers:
+        runtime.call(server.stop())
+
+
+@pytest.fixture(scope="module")
+def live_servers(runtime, net_fixture):
+    alice, bob = start_servers(runtime, net_fixture)
+    yield alice, bob
+    stop_servers(runtime, alice, bob)
+
+
+def run_client(runtime, net_fixture, alice, bob, **kwargs):
+    _, rule, __ = net_fixture
+    telemetry = kwargs.pop("telemetry", Telemetry())
+    client = QueryingPartyClient(
+        rule,
+        RemoteParty("alice", alice.host, alice.port),
+        RemoteParty("bob", bob.host, bob.port),
+        allowance=ALLOWANCE,
+        telemetry=telemetry,
+        runtime=runtime,
+        **kwargs,
+    )
+    return client.run(), telemetry
+
+
+class TestParity:
+    def test_networked_run_is_bit_identical(
+        self, runtime, net_fixture, live_servers, reference
+    ):
+        alice, bob = live_servers
+        result, _ = run_client(runtime, net_fixture, alice, bob)
+        expected_outcome, expected_matches = reference
+        assert result.outcome == expected_outcome
+        assert result.verified_matches == expected_matches
+
+    def test_wire_bytes_are_measured(
+        self, runtime, net_fixture, live_servers
+    ):
+        alice, bob = live_servers
+        result, telemetry = run_client(runtime, net_fixture, alice, bob)
+        # Real frame bytes, not the in-process channel estimate.
+        assert result.transcript.bytes_on_wire > 0
+        assert result.peer_wire_bytes > 0
+        assert result.bytes_on_wire == (
+            result.transcript.bytes_on_wire + result.peer_wire_bytes
+        )
+        counters = telemetry.metrics
+        assert (
+            counters.counter("net.bytes_on_wire").value
+            == result.transcript.bytes_on_wire
+        )
+        assert counters.counter("net.frames_sent").value > 0
+        assert "on wire" in result.transcript.summary()
+
+
+class TestChannelEstimate:
+    def test_paillier_oracle_reports_estimate_beside_measured_bytes(
+        self, runtime, net_fixture, reference
+    ):
+        """Satellite: channel.bytes_sent (estimate) vs net.* (measured).
+
+        With the real Paillier oracle on the bridge holder, the client
+        mirrors the server's in-process channel *estimate* next to the
+        measured frame bytes — and the outcome still matches the
+        reference (the crypto is exact, only the invoice changes).
+        """
+        import random
+
+        from repro.crypto.smc.oracle import PaillierSMCOracle
+
+        catalog, _, pair = net_fixture
+
+        def paillier_factory(rule, schema):
+            return PaillierSMCOracle(
+                rule, schema, key_bits=256, rng=random.Random(7)
+            )
+
+        alice = runtime.call(
+            DataHolderServer(
+                "alice", pair.left, MaxEntropyTDS(catalog), QIDS, K,
+                oracle_factory=paillier_factory,
+            ).start()
+        )
+        bob = runtime.call(
+            DataHolderServer(
+                "bob", pair.right, MaxEntropyTDS(catalog), QIDS, K
+            ).start()
+        )
+        try:
+            result, telemetry = run_client(runtime, net_fixture, alice, bob)
+        finally:
+            stop_servers(runtime, alice, bob)
+        expected_outcome, expected_matches = reference
+        assert result.outcome == expected_outcome
+        assert result.verified_matches == expected_matches
+        assert result.channel_bytes > 0, "no in-process channel estimate"
+        assert result.bytes_on_wire > 0
+        counters = telemetry.metrics
+        assert (
+            counters.counter("channel.bytes_sent").value
+            == result.channel_bytes
+        )
+
+
+class TestFaultResume:
+    def test_drop_mid_smc_resumes_with_identical_result(
+        self, runtime, net_fixture, reference
+    ):
+        """Kill alice's connection mid-SMC; the run must still agree."""
+        fault = FaultInjector(FaultPlan(drop_after=6, times=2))
+        alice, bob = start_servers(runtime, net_fixture, alice_fault=fault)
+        try:
+            result, telemetry = run_client(
+                runtime, net_fixture, alice, bob, batch_size=32
+            )
+        finally:
+            stop_servers(runtime, alice, bob)
+        expected_outcome, expected_matches = reference
+        assert fault.drops_injected == 2, "the fault never fired"
+        assert telemetry.metrics.counter("net.reconnects").value >= 1
+        assert result.reconnects >= 1
+        # Identical outcome implies exact invocation counts too: a server
+        # that re-ran a replayed batch would inflate smc_invocations.
+        assert result.outcome == expected_outcome
+        assert result.verified_matches == expected_matches
+
+    def test_drop_on_close_and_resolve_replies_still_agrees(
+        self, runtime, net_fixture, reference
+    ):
+        """Drops can also eat the smc_close and resolve replies.
+
+        With the default batch size the SMC phase is only a couple of
+        frames, so ``drop_after=6`` lands the first drop on the
+        ``smc_close`` reply and the re-armed second on the ``resolve``
+        reply — the phases whose recovery is the idempotent-retry path
+        rather than the batch ledger.
+        """
+        fault = FaultInjector(FaultPlan(drop_after=6, times=2))
+        alice, bob = start_servers(runtime, net_fixture, alice_fault=fault)
+        try:
+            result, telemetry = run_client(runtime, net_fixture, alice, bob)
+        finally:
+            stop_servers(runtime, alice, bob)
+        expected_outcome, expected_matches = reference
+        assert fault.drops_injected >= 1, "the fault never fired"
+        assert telemetry.metrics.counter("net.reconnects").value >= 1
+        assert result.outcome == expected_outcome
+        assert result.verified_matches == expected_matches
+
+    def test_fault_plan_round_trip_from_env(self, monkeypatch):
+        from repro.net.faults import FAULT_ENV, injector_from_env
+
+        monkeypatch.setenv(FAULT_ENV, "drop_after=4,times=3")
+        injector = injector_from_env()
+        assert injector.plan == FaultPlan(drop_after=4, times=3)
+        monkeypatch.delenv(FAULT_ENV)
+        assert injector_from_env() is None
+
+
+def raw_exchange(server, frames, *, hello_first=True):
+    """Speak raw frames to a live server; returns decoded replies."""
+    replies = []
+    with socket.create_connection((server.host, server.port), timeout=10) as sock:
+        sock.settimeout(10)
+        if hello_first:
+            frames = [encode_frame(hello_message("query", "probe"))] + frames
+        for frame in frames:
+            sock.sendall(frame)
+            header = sock.recv(FRAME_HEADER.size, socket.MSG_WAITALL)
+            if len(header) < FRAME_HEADER.size:
+                replies.append(None)  # connection closed on us
+                break
+            (length,) = FRAME_HEADER.unpack(header)
+            payload = b""
+            while len(payload) < length:
+                chunk = sock.recv(length - len(payload))
+                if not chunk:
+                    break
+                payload += chunk
+            replies.append(json.loads(payload.decode()))
+    return replies
+
+
+class TestLiveServerStrictness:
+    def test_version_mismatch_rejected_with_code(self, live_servers):
+        alice, _ = live_servers
+        hello = hello_message("query", "time-traveler")
+        hello["version"] = PROTOCOL_VERSION + 1
+        replies = raw_exchange(alice, [encode_frame(hello)], hello_first=False)
+        assert replies[0]["type"] == "error"
+        assert replies[0]["code"] == "version_mismatch"
+
+    def test_unknown_request_answered_not_crashed(self, live_servers):
+        alice, _ = live_servers
+        replies = raw_exchange(
+            alice, [encode_frame({"type": "drop_tables"})]
+        )
+        assert replies[1]["type"] == "error"
+        assert replies[1]["code"] == "bad_frame"
+
+    def test_garbage_payload_survived(self, live_servers):
+        alice, _ = live_servers
+        garbage = FRAME_HEADER.pack(9) + b"\xff" * 9
+        replies = raw_exchange(alice, [garbage])
+        assert replies[1]["type"] == "error"
+        assert replies[1]["code"] == "bad_frame"
+        # ...and the server still serves fresh connections afterwards.
+        replies = raw_exchange(alice, [encode_frame({"type": "get_view"})])
+        assert replies[1]["type"] == "view"
+
+    def test_querying_party_cannot_fetch_raw_records(self, live_servers):
+        """The privacy boundary: role=query gets no raw values, ever."""
+        alice, _ = live_servers
+        request = {
+            "type": "fetch_records",
+            "names": [QIDS[0]],
+            "handles": [[0, 0]],
+        }
+        replies = raw_exchange(alice, [encode_frame(request)])
+        assert replies[1]["type"] == "error"
+        assert replies[1]["code"] == "forbidden"
+
+    def test_oversized_header_drops_connection(self, live_servers):
+        alice, _ = live_servers
+        huge = struct.pack(">I", 2**31)
+        replies = raw_exchange(alice, [huge])
+        assert replies[1]["type"] == "error"
+        assert replies[1]["code"] == "bad_frame"
+
+
+class TestRemoteSpec:
+    def test_parse_both_parties(self):
+        parties = parse_remote_spec("alice=10.0.0.1:7001,bob=10.0.0.2:7002")
+        assert parties["alice"] == RemoteParty("alice", "10.0.0.1", 7001)
+        assert parties["bob"] == RemoteParty("bob", "10.0.0.2", 7002)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "alice=10.0.0.1:7001",           # bob missing
+            "alice=:7001,bob=h:7002",        # empty host
+            "alice=h:seven,bob=h:7002",      # bad port
+            "alice,bob",                     # no addresses
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_remote_spec(spec)

@@ -1,0 +1,406 @@
+"""Wire-codec tests: round-trips (property-based) and strict rejection.
+
+The codec's contract has two halves. Everything the protocol can
+legitimately produce must survive an encode/decode round trip unchanged —
+checked with hypothesis over generalized values, views, handles, rules,
+and ciphertexts. And everything else — truncated, oversized, mistyped, or
+version-skewed frames — must raise :class:`~repro.errors.WireError`
+instead of crashing or being misread.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import EncryptedNumber, PaillierKeyPair
+from repro.data.vgh import Interval
+from repro.errors import ConfigurationError, WireError
+from repro.linkage.distances import MatchRule
+from repro.net.faults import FaultInjector, FaultPlan
+from repro.net.wire import (
+    FRAME_HEADER,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    WireMatchAttribute,
+    decode_ciphertext,
+    decode_frame_length,
+    decode_frame_payload,
+    decode_handle,
+    decode_handle_pairs,
+    decode_record_values,
+    decode_rule,
+    decode_value,
+    decode_view,
+    encode_ciphertext,
+    encode_frame,
+    encode_handle,
+    encode_handle_pairs,
+    encode_record_values,
+    encode_rule,
+    encode_value,
+    encode_view,
+    hello_message,
+    validate_hello,
+    validate_request,
+    validate_welcome,
+    welcome_message,
+)
+from repro.protocol import PublishedClass, PublishedView
+
+# ---------------------------------------------------------------------------
+# strategies
+
+finite_numbers = st.one_of(
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+intervals = st.tuples(finite_numbers, finite_numbers).map(
+    lambda bounds: Interval(min(bounds), max(bounds))
+)
+
+generalized_values = st.one_of(st.text(max_size=40), intervals, finite_numbers)
+
+handles = st.tuples(
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10**6),
+)
+
+
+@st.composite
+def views(draw):
+    qids = draw(
+        st.lists(
+            st.text(min_size=1, max_size=12), min_size=1, max_size=4, unique=True
+        )
+    )
+    class_count = draw(st.integers(min_value=0, max_value=6))
+    classes = tuple(
+        PublishedClass(
+            class_id,
+            tuple(
+                draw(generalized_values) for _ in range(len(qids))
+            ),
+            draw(st.integers(min_value=1, max_value=500)),
+        )
+        for class_id in range(class_count)
+    )
+    return PublishedView(
+        holder=draw(st.text(min_size=1, max_size=12)), qids=tuple(qids), classes=classes
+    )
+
+
+@st.composite
+def rules(draw):
+    count = draw(st.integers(min_value=1, max_value=5))
+    attributes = []
+    for index in range(count):
+        kind = draw(st.sampled_from(("continuous", "categorical", "string")))
+        threshold = draw(
+            st.floats(min_value=0, max_value=100, allow_nan=False)
+        )
+        effective = draw(
+            st.floats(min_value=0, max_value=1000, allow_nan=False)
+        )
+        attributes.append(
+            WireMatchAttribute(f"attr{index}", kind, threshold, effective)
+        )
+    return MatchRule(attributes)
+
+
+# ---------------------------------------------------------------------------
+# round trips
+
+KEY_PAIR = PaillierKeyPair.generate(256)
+
+
+class TestRoundTrips:
+    @given(generalized_values)
+    def test_value_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @given(views())
+    @settings(max_examples=50, deadline=None)
+    def test_view_round_trip(self, view):
+        assert decode_view(encode_view(view)) == view
+
+    @given(st.lists(handles, max_size=20))
+    def test_handle_pairs_round_trip(self, items):
+        pairs = list(zip(items, reversed(items)))
+        assert decode_handle_pairs(encode_handle_pairs(pairs)) == pairs
+
+    @given(handles)
+    def test_handle_round_trip(self, handle):
+        assert decode_handle(encode_handle(handle)) == handle
+
+    @given(rules())
+    @settings(max_examples=50, deadline=None)
+    def test_rule_round_trip(self, rule):
+        decoded = decode_rule(encode_rule(rule))
+        for original, wired in zip(rule, decoded):
+            assert wired.name == original.name
+            assert wired.is_continuous == original.is_continuous
+            assert wired.is_string == original.is_string
+            assert wired.threshold == original.threshold
+            assert wired.effective_threshold == original.effective_threshold
+
+    @given(st.integers(min_value=0, max_value=2**255))
+    @settings(max_examples=50, deadline=None)
+    def test_ciphertext_round_trip(self, plaintext_bits):
+        ciphertext = plaintext_bits % KEY_PAIR.public_key.n_squared
+        number = EncryptedNumber(KEY_PAIR.public_key, ciphertext)
+        decoded = decode_ciphertext(encode_ciphertext(number))
+        assert decoded.ciphertext == number.ciphertext
+        assert decoded.public_key.n == KEY_PAIR.public_key.n
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.text(max_size=20),
+                st.integers(min_value=-(10**9), max_value=10**9),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+            ),
+            max_size=8,
+        )
+    )
+    def test_record_values_round_trip(self, values):
+        decoded = decode_record_values(
+            encode_record_values(values), len(values)
+        )
+        assert decoded == tuple(values)
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=10),
+            st.one_of(st.text(max_size=20), st.integers(), st.booleans()),
+            max_size=6,
+        )
+    )
+    def test_frame_round_trip(self, extra):
+        message = {"type": "probe", **extra}
+        frame = encode_frame(message)
+        length = decode_frame_length(frame[: FRAME_HEADER.size])
+        assert length == len(frame) - FRAME_HEADER.size
+        assert decode_frame_payload(frame[FRAME_HEADER.size :]) == message
+
+
+# ---------------------------------------------------------------------------
+# strict rejection
+
+class TestFrameRejection:
+    def test_oversized_declared_length(self):
+        header = FRAME_HEADER.pack(MAX_FRAME_BYTES + 1)
+        with pytest.raises(WireError, match="exceeds"):
+            decode_frame_length(header)
+
+    def test_empty_frame(self):
+        with pytest.raises(WireError, match="empty"):
+            decode_frame_length(FRAME_HEADER.pack(0))
+
+    def test_truncated_header(self):
+        with pytest.raises(WireError, match="truncated"):
+            decode_frame_length(b"\x00\x01")
+
+    def test_oversized_payload_refused_at_encode(self):
+        message = {"type": "blob", "data": "x" * (MAX_FRAME_BYTES + 16)}
+        with pytest.raises(WireError, match="exceeds"):
+            encode_frame(message)
+
+    def test_non_json_payload(self):
+        with pytest.raises(WireError, match="not valid JSON"):
+            decode_frame_payload(b"\xff\xfe garbage")
+
+    def test_non_object_payload(self):
+        with pytest.raises(WireError, match="must be an object"):
+            decode_frame_payload(json.dumps([1, 2, 3]).encode())
+
+    def test_missing_type(self):
+        with pytest.raises(WireError, match="missing required field 'type'"):
+            decode_frame_payload(json.dumps({"seq": 1}).encode())
+
+
+class TestValueRejection:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],                     # no tag
+            ["x", 1],               # unknown tag
+            ["s"],                  # arity
+            ["s", 42],              # wrong type
+            ["i", 1],               # arity
+            ["i", 5, 1],            # bounds out of order
+            ["i", "a", "b"],        # wrong types
+            ["n", "nope"],          # wrong type
+            "bare-string",          # not a list
+        ],
+    )
+    def test_malformed_value(self, payload):
+        with pytest.raises(WireError):
+            decode_value(payload)
+
+    def test_boolean_value_not_encodable(self):
+        with pytest.raises(WireError):
+            encode_value(True)
+
+
+class TestViewRejection:
+    def good(self):
+        return {
+            "holder": "alice",
+            "qids": ["age"],
+            "classes": [{"id": 0, "seq": [["n", 4]], "size": 2}],
+        }
+
+    def test_good_baseline(self):
+        decode_view(self.good())
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda v: v.pop("holder"),
+            lambda v: v.pop("qids"),
+            lambda v: v.pop("classes"),
+            lambda v: v["classes"][0].pop("id"),
+            lambda v: v["classes"][0].update(size=0),
+            lambda v: v["classes"][0].update(size="two"),
+            lambda v: v["classes"][0].update(seq=[]),  # arity vs qids
+            lambda v: v["classes"].append(dict(v["classes"][0])),  # dup id
+            lambda v: v.update(qids="age"),
+        ],
+    )
+    def test_malformed_view(self, mutate):
+        view = self.good()
+        mutate(view)
+        with pytest.raises(WireError):
+            decode_view(view)
+
+
+class TestRuleRejection:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"attributes": []},
+            {"attributes": [{"name": "a", "kind": "weird", "threshold": 1,
+                             "effective_threshold": 1}]},
+            {"attributes": [{"name": "a", "kind": "continuous",
+                             "threshold": -1, "effective_threshold": 1}]},
+            {"attributes": [{"kind": "continuous", "threshold": 1,
+                             "effective_threshold": 1}]},
+        ],
+    )
+    def test_malformed_rule(self, payload):
+        with pytest.raises(WireError):
+            decode_rule(payload)
+
+
+class TestCiphertextRejection:
+    def test_bad_hex(self):
+        with pytest.raises(WireError):
+            decode_ciphertext({"n": "zz", "c": "10"})
+        with pytest.raises(WireError):
+            decode_ciphertext(
+                {"n": format(KEY_PAIR.public_key.n, "x"), "c": "not-hex"}
+            )
+
+    def test_ciphertext_outside_residue_space(self):
+        n = KEY_PAIR.public_key.n
+        with pytest.raises(WireError, match="residue"):
+            decode_ciphertext({"n": format(n, "x"), "c": format(n * n, "x")})
+
+    def test_tiny_modulus(self):
+        with pytest.raises(WireError):
+            decode_ciphertext({"n": "2", "c": "1"})
+
+
+class TestHandshake:
+    def test_hello_accepted(self):
+        validate_hello(hello_message("query", "tester"))
+
+    def test_version_mismatch_rejected(self):
+        hello = hello_message("query", "tester")
+        hello["version"] = PROTOCOL_VERSION + 1
+        with pytest.raises(WireError, match="version mismatch"):
+            validate_hello(hello)
+
+    def test_wrong_protocol_rejected(self):
+        hello = hello_message("query", "tester")
+        hello["protocol"] = "repro.other"
+        with pytest.raises(WireError, match="speaks"):
+            validate_hello(hello)
+
+    def test_unknown_role_rejected(self):
+        hello = hello_message("query", "tester")
+        hello["role"] = "observer"
+        with pytest.raises(WireError, match="role"):
+            validate_hello(hello)
+
+    def test_welcome_version_mismatch_rejected(self):
+        welcome = welcome_message("alice", [["age", "continuous"]], 10)
+        welcome["version"] = PROTOCOL_VERSION + 1
+        with pytest.raises(WireError, match="version mismatch"):
+            validate_welcome(welcome)
+
+    def test_welcome_schema_validated(self):
+        welcome = welcome_message("alice", [["age"]], 10)
+        with pytest.raises(WireError, match="schema column"):
+            validate_welcome(welcome)
+
+
+class TestRequestValidation:
+    def test_known_requests(self):
+        assert validate_request({"type": "get_view"}) == "get_view"
+        assert (
+            validate_request(
+                {
+                    "type": "smc_batch",
+                    "session": "s",
+                    "seq": 1,
+                    "pairs": [[[0, 0], [1, 1]]],
+                }
+            )
+            == "smc_batch"
+        )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(WireError, match="unknown request type"):
+            validate_request({"type": "drop_tables"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(WireError, match="missing required field"):
+            validate_request({"type": "smc_batch", "session": "s", "seq": 1})
+
+    def test_bad_seq_rejected(self):
+        with pytest.raises(WireError):
+            validate_request(
+                {"type": "smc_batch", "session": "s", "seq": 0, "pairs": []}
+            )
+
+
+class TestFaultPlan:
+    def test_parse_minimal(self):
+        plan = FaultPlan.parse("drop_after=5")
+        assert plan == FaultPlan(drop_after=5, times=1)
+
+    def test_parse_with_times(self):
+        assert FaultPlan.parse("drop_after=3,times=2") == FaultPlan(3, 2)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "times=2", "drop_after=", "drop_after=zero", "explode=1",
+         "drop_after=0", "drop_after=1,times=0"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse(spec)
+
+    def test_injector_budget(self):
+        injector = FaultInjector(FaultPlan(drop_after=3, times=2))
+        assert not injector.should_drop(1)
+        assert not injector.should_drop(2)
+        assert injector.should_drop(3)       # first drop
+        assert injector.should_drop(3)       # re-armed: second drop
+        assert not injector.should_drop(99)  # budget spent
+        assert injector.drops_injected == 2
