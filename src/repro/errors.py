@@ -36,6 +36,17 @@ class ConfigurationError(ReproError):
     """A linkage configuration is inconsistent or out of range."""
 
 
+class PipelineError(ReproError):
+    """A staged pipeline run broke an internal invariant.
+
+    Raised when shard results cannot be reconciled against the global
+    run state — e.g. the SMC stage consumed a different number of record
+    pairs than its budget leases granted. These are library bugs or
+    corrupted executor results, never user configuration mistakes (those
+    raise :class:`ConfigurationError`).
+    """
+
+
 class NetError(ReproError):
     """A networked protocol run failed (connection, timeout, session)."""
 

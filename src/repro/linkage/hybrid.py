@@ -22,7 +22,6 @@ precision honestly.
 
 from __future__ import annotations
 
-import math
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
@@ -30,7 +29,11 @@ from repro.anonymize.base import GeneralizedRelation
 from repro.crypto.smc.oracle import CountingPlaintextOracle, SMCOracle
 from repro.data.schema import Schema
 from repro.errors import ConfigurationError
-from repro.linkage.blocking import ENGINES, BlockingResult, ClassPair, block
+from repro.linkage.blocking import (
+    BlockingResult,
+    ClassPair,
+    validate_engine,
+)
 from repro.linkage.distances import MatchRule
 from repro.linkage.heuristics import MinAvgFirst, SelectionHeuristic
 from repro.linkage.strategies import (
@@ -39,6 +42,15 @@ from repro.linkage.strategies import (
     SMCObservation,
 )
 from repro.obs import NOOP_TELEMETRY, Telemetry
+from repro.pipeline import Pipeline, compare_class_pair, validate_executor, validate_shards
+
+__all__ = [
+    "HybridLinkage",
+    "LinkageConfig",
+    "LinkageResult",
+    "OracleFactory",
+    "compare_class_pair",
+]
 
 OracleFactory = Callable[[MatchRule, Schema], SMCOracle]
 
@@ -72,6 +84,14 @@ class LinkageConfig:
         span and fills the metrics registry (blocking verdict tallies,
         heuristic scoring, SMC and channel costs). Defaults to the
         zero-overhead no-op; telemetry never influences decisions.
+    executor:
+        Shard execution backend: ``"serial"`` (default), ``"thread"``,
+        or ``"process"`` (see :data:`repro.pipeline.EXECUTORS`). Only
+        consulted when ``shards > 1``; every backend produces results
+        bit-identical to the serial path.
+    shards:
+        How many shards the pipeline splits the class-pair space into
+        (default 1, i.e. the classic serial run).
     """
 
     rule: MatchRule
@@ -81,16 +101,17 @@ class LinkageConfig:
     oracle_factory: OracleFactory = CountingPlaintextOracle
     engine: str = "auto"
     telemetry: Telemetry = field(default=NOOP_TELEMETRY, repr=False)
+    executor: str = "serial"
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.allowance <= 1.0:
             raise ConfigurationError(
                 f"SMC allowance {self.allowance} must be a fraction in [0, 1]"
             )
-        if self.engine not in ENGINES:
-            raise ConfigurationError(
-                f"unknown engine {self.engine!r}; choose from {ENGINES}"
-            )
+        validate_engine(self.engine)
+        validate_executor(self.executor)
+        validate_shards(self.shards)
         if (
             self.strategy.requires_random_selection
             and self.heuristic.name != "random"
@@ -195,7 +216,14 @@ class LinkageResult:
 
 
 class HybridLinkage:
-    """Run the paper's hybrid method end to end."""
+    """Run the paper's hybrid method end to end.
+
+    A thin facade over :class:`repro.pipeline.Pipeline`: every call
+    builds a pipeline from the config (which fixes the executor and
+    shard count alongside the engine) and delegates. Results are
+    bit-identical for every execution plan, so callers can treat this
+    class exactly as before the pipeline existed.
+    """
 
     def __init__(self, config: LinkageConfig):
         self.config = config
@@ -214,19 +242,7 @@ class HybridLinkage:
         span per phase (blocking, selection, SMC, leftovers) and kernel-
         or oracle-level grandchildren below those.
         """
-        if left.source.schema != right.source.schema:
-            raise ConfigurationError("input relations must share a schema")
-        telemetry = self.config.telemetry
-        with telemetry.span(
-            "linkage.run",
-            engine=self.config.engine,
-            allowance=self.config.allowance,
-        ):
-            blocking = block(
-                self.config.rule, left, right,
-                engine=self.config.engine, telemetry=telemetry,
-            )
-            return self._link(blocking, left, right)
+        return Pipeline.from_config(self.config).run(left, right)
 
     def run_from_blocking(
         self,
@@ -240,118 +256,6 @@ class HybridLinkage:
         allowances (blocking does not depend on either), which is also how
         the paper structures its experiments.
         """
-        return self._link(blocking, left, right)
-
-    def _link(
-        self,
-        blocking: BlockingResult,
-        left: GeneralizedRelation,
-        right: GeneralizedRelation,
-    ) -> LinkageResult:
-        """The post-blocking phases: selection, budgeted SMC, leftovers.
-
-        ``elapsed_seconds`` of the result is the ``linkage.link`` span's
-        duration — the same quantity the old inline timer measured.
-        """
-        config = self.config
-        telemetry = config.telemetry
-        allowance_pairs = math.floor(config.allowance * blocking.total_pairs)
-        with telemetry.span(
-            "linkage.link",
-            heuristic=config.heuristic.name,
-            strategy=config.strategy.name,
-            allowance_pairs=allowance_pairs,
-        ) as link_span:
-            with telemetry.span("linkage.select", heuristic=config.heuristic.name):
-                ordered = config.heuristic.order(
-                    blocking.unknown, config.rule, left, right,
-                    engine=config.engine, telemetry=telemetry,
-                )
-            oracle = config.oracle_factory(config.rule, left.source.schema)
-            if telemetry.enabled:
-                oracle.attach_telemetry(telemetry)
-            budget = allowance_pairs
-            observations: list[SMCObservation] = []
-            smc_matched: list[tuple[int, int]] = []
-            leftovers: list[ClassPair] = []
-            with telemetry.span(
-                "linkage.smc", backend=type(oracle).__name__
-            ) as smc_span:
-                with telemetry.span("oracle.compare", backend=type(oracle).__name__):
-                    for position, pair in enumerate(ordered):
-                        if budget <= 0:
-                            leftovers.extend(ordered[position:])
-                            break
-                        take = min(budget, pair.size)
-                        matches = compare_class_pair(
-                            oracle, left, right, pair, take, smc_matched
-                        )
-                        budget -= take
-                        observations.append(SMCObservation(pair, take, matches))
-                        if take < pair.size:
-                            leftovers.append(pair)
-                        telemetry.histogram("smc.class_pair_take").observe(take)
-                        telemetry.emit_progress(
-                            "smc",
-                            allowance_pairs - budget,
-                            allowance_pairs,
-                            unit="pairs",
-                            matches=len(smc_matched),
-                            class_pairs=position + 1,
-                        )
-                smc_span.annotate(
-                    invocations=oracle.invocations,
-                    matches=len(smc_matched),
-                )
-            if telemetry.enabled:
-                oracle.publish_metrics()
-                telemetry.counter("smc.allowance_pairs").add(allowance_pairs)
-                telemetry.counter("smc.matched_pairs").add(len(smc_matched))
-            with telemetry.span("linkage.leftovers", strategy=config.strategy.name):
-                claimed = config.strategy.claim_matches(
-                    leftovers, observations, config.rule, left, right,
-                    engine=config.engine, telemetry=telemetry,
-                )
-            if telemetry.enabled:
-                telemetry.counter("leftovers.class_pairs").add(len(leftovers))
-                telemetry.counter("leftovers.claimed_class_pairs").add(
-                    len(claimed)
-                )
-        return LinkageResult(
-            total_pairs=blocking.total_pairs,
-            blocking=blocking,
-            allowance_pairs=allowance_pairs,
-            smc_invocations=oracle.invocations,
-            smc_matched_pairs=smc_matched,
-            observations=observations,
-            leftovers=leftovers,
-            claimed=list(claimed),
-            attribute_comparisons=oracle.attribute_comparisons,
-            elapsed_seconds=link_span.duration,
+        return Pipeline.from_config(self.config).run_from_blocking(
+            blocking, left, right
         )
-
-
-def compare_class_pair(
-    oracle: SMCOracle,
-    left: GeneralizedRelation,
-    right: GeneralizedRelation,
-    pair: ClassPair,
-    take: int,
-    smc_matched: list[tuple[int, int]],
-) -> int:
-    """Compare the first *take* record pairs of *pair* in row-major order.
-
-    Appends matching index pairs to *smc_matched* and returns the match
-    count. Record pairs inside a class pair are anonymization-
-    indistinguishable, so row-major order is as good as any and keeps runs
-    reproducible. The heavy lifting is delegated to the oracle's
-    ``compare_block`` (vectorized on the counting backend).
-    """
-    left_records = [left.source[index] for index in pair.left.indices]
-    right_records = [right.source[index] for index in pair.right.indices]
-    matched_offsets = oracle.compare_block(left_records, right_records, take)
-    for left_offset, right_offset in matched_offsets:
-        smc_matched.append(
-            (pair.left.indices[left_offset], pair.right.indices[right_offset])
-        )
-    return len(matched_offsets)

@@ -54,6 +54,9 @@ class LeftoverStrategy(abc.ABC):
     name: str = "abstract"
     #: Strategy 3 needs an unbiased SMC sample to train on.
     requires_random_selection: bool = False
+    #: Whether the strategy scores class pairs (lets the pipeline inject
+    #: a sharded scorer through ``claim_matches``'s *scorer* parameter).
+    uses_scoring: bool = False
 
     @abc.abstractmethod
     def claim_matches(
@@ -65,13 +68,18 @@ class LeftoverStrategy(abc.ABC):
         right: GeneralizedRelation,
         engine: str = "auto",
         telemetry: Telemetry = NOOP_TELEMETRY,
+        *,
+        scorer=None,
     ) -> list[ClassPair]:
         """Return the leftover class pairs to claim (unverified) as matches.
 
         *engine* selects the scoring backend for strategies that rank
         class pairs (see :data:`repro.linkage.blocking.ENGINES`); claims
         are engine-independent. *telemetry* records scoring work for
-        strategies that rank class pairs.
+        strategies that rank class pairs. *scorer*, when given, replaces
+        :func:`~repro.linkage.heuristics.average_expected_scores` for
+        strategies with :attr:`uses_scoring` — the staged pipeline passes
+        a shard-parallel drop-in that returns bit-identical scores.
         """
 
 
@@ -82,7 +90,7 @@ class MaximizePrecision(LeftoverStrategy):
 
     def claim_matches(
         self, leftovers, observations, rule, left, right, engine="auto",
-        telemetry=NOOP_TELEMETRY,
+        telemetry=NOOP_TELEMETRY, *, scorer=None,
     ):
         return []
 
@@ -94,7 +102,7 @@ class MaximizeRecall(LeftoverStrategy):
 
     def claim_matches(
         self, leftovers, observations, rule, left, right, engine="auto",
-        telemetry=NOOP_TELEMETRY,
+        telemetry=NOOP_TELEMETRY, *, scorer=None,
     ):
         return list(leftovers)
 
@@ -116,19 +124,24 @@ class LearnedClassifier(LeftoverStrategy):
 
     name = "learned-classifier"
     requires_random_selection = True
+    uses_scoring = True
 
     def claim_matches(
         self, leftovers, observations, rule, left, right, engine="auto",
-        telemetry=NOOP_TELEMETRY,
+        telemetry=NOOP_TELEMETRY, *, scorer=None,
     ):
         if not observations or not leftovers:
             return []
+        if scorer is None:
+            def scorer(pairs):
+                return average_expected_scores(
+                    pairs, rule, left, right, engine, telemetry
+                )
         trained = [
             observation for observation in observations if observation.compared
         ]
-        training_scores = average_expected_scores(
-            [observation.pair for observation in trained],
-            rule, left, right, engine, telemetry,
+        training_scores = scorer(
+            [observation.pair for observation in trained]
         )
         examples = [  # (score, positives, negatives)
             (
@@ -141,9 +154,7 @@ class LearnedClassifier(LeftoverStrategy):
         threshold = self._best_threshold(examples)
         if threshold is None:
             return []
-        leftover_scores = average_expected_scores(
-            leftovers, rule, left, right, engine, telemetry
-        )
+        leftover_scores = scorer(list(leftovers))
         return [
             pair
             for pair, score in zip(leftovers, leftover_scores)

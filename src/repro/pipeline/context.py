@@ -1,0 +1,129 @@
+"""Shared state for one pipeline run.
+
+The :class:`RunContext` is the one object every stage receives: the
+linkage configuration, the telemetry sink, the resolved execution plan
+(executor + shard count) and the run's budget accounting. It owns the
+executor's lifecycle — backends are built lazily on first use and closed
+by the :class:`~repro.pipeline.runner.Pipeline` in a ``finally`` — so
+stages never manage pools themselves.
+
+The :class:`BudgetLedger` turns the SMC allowance into auditable data:
+the planner records every lease it grants, shards report what they
+billed, and :meth:`BudgetLedger.reconcile` cross-checks the two against
+the global allowance. A mismatch is a :class:`~repro.errors.PipelineError`
+— a library bug or a corrupted shard result, never user error — and it
+is how the pipeline guarantees a sharded run can never silently spend a
+different number of oracle invocations than the serial path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PipelineError
+from repro.obs import NOOP_TELEMETRY, Telemetry
+
+from .executors import (
+    Executor,
+    resolve_executor,
+    validate_executor,
+    validate_shards,
+)
+from .partition import Partitioner
+
+
+@dataclass
+class BudgetLedger:
+    """Audit trail for one run's SMC allowance.
+
+    ``allowance_pairs`` is the global grant; ``leases`` the per-class-pair
+    record-pair takes in consumption order (a prefix of the ordered
+    unknown list, only the last possibly partial); ``billed`` what the
+    shard oracles actually invoiced.
+    """
+
+    allowance_pairs: int
+    leases: list[int] = field(default_factory=list)
+    billed: int = 0
+
+    @property
+    def granted(self) -> int:
+        """Record pairs granted by all leases so far."""
+        return sum(self.leases)
+
+    @property
+    def remaining(self) -> int:
+        """Unspent allowance after the granted leases."""
+        return self.allowance_pairs - self.granted
+
+    def grant(self, takes: list[int]) -> None:
+        """Record a batch of leases, checking the allowance bound."""
+        self.leases.extend(takes)
+        if self.granted > self.allowance_pairs:
+            raise PipelineError(
+                f"budget leases grant {self.granted} record pairs but the "
+                f"allowance is {self.allowance_pairs}"
+            )
+
+    def bill(self, invocations: int) -> None:
+        """Record oracle invocations reported back by a shard."""
+        self.billed += invocations
+
+    def reconcile(self) -> None:
+        """Check granted == billed <= allowance; raise on any mismatch."""
+        if self.billed != self.granted:
+            raise PipelineError(
+                f"shard oracles billed {self.billed} invocations but the "
+                f"ledger granted {self.granted} record pairs"
+            )
+        if self.granted > self.allowance_pairs:
+            raise PipelineError(
+                f"ledger granted {self.granted} record pairs over an "
+                f"allowance of {self.allowance_pairs}"
+            )
+
+
+@dataclass
+class RunContext:
+    """Everything one pipeline run shares across its stages."""
+
+    config: object
+    telemetry: Telemetry = NOOP_TELEMETRY
+    executor_name: str = "serial"
+    shards: int = 1
+    ledger: BudgetLedger | None = None
+    _executor: Executor | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        validate_executor(self.executor_name)
+        validate_shards(self.shards)
+
+    @property
+    def sharded(self) -> bool:
+        """True when stages should split work (more than one shard)."""
+        return self.shards > 1
+
+    @property
+    def partitioner(self) -> Partitioner:
+        """The partitioner all stages share for this run."""
+        return Partitioner(self.shards)
+
+    @property
+    def executor(self) -> Executor:
+        """The run's executor backend, built on first use."""
+        if self._executor is None:
+            self._executor = resolve_executor(
+                self.executor_name, shards=self.shards
+            )
+        return self._executor
+
+    def open_ledger(self, allowance_pairs: int) -> BudgetLedger:
+        """Start the run's budget ledger for *allowance_pairs*."""
+        self.ledger = BudgetLedger(allowance_pairs=allowance_pairs)
+        return self.ledger
+
+    def close(self) -> None:
+        """Release the executor pool, if one was ever built."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None

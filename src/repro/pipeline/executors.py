@@ -1,0 +1,159 @@
+"""Pluggable shard executors for the staged pipeline.
+
+An :class:`Executor` maps a worker function over a list of shard tasks
+and returns the results **in task order** — that ordering contract is
+what lets every backend reconcile to a bit-identical result (see
+:mod:`repro.pipeline.stages`). Three backends ship:
+
+- ``serial`` — a plain loop in the calling thread. The reference
+  semantics; zero overhead, zero risk.
+- ``thread`` — :class:`concurrent.futures.ThreadPoolExecutor`. Helps
+  when shard work releases the GIL (the numpy blocking kernel) and for
+  latency hiding; pure-Python shard work stays GIL-bound.
+- ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`. True
+  CPU parallelism for the scalar kernels; shard tasks and worker
+  functions must be picklable (the module-level functions in
+  :mod:`repro.pipeline.shards` are — ad-hoc lambdas, e.g. a test's
+  ``oracle_factory``, are not and require ``serial`` or ``thread``).
+
+Pools are created lazily on first :meth:`Executor.map` and owned by the
+pipeline run (the :class:`repro.pipeline.context.RunContext` closes them
+in a ``finally``), so a config object naming an executor costs nothing
+until a sharded stage actually runs.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.errors import ConfigurationError
+
+#: Recognized values of the ``executor`` parameter.
+EXECUTORS = ("serial", "thread", "process")
+
+
+def validate_executor(name: str) -> str:
+    """Validate an ``executor`` name against :data:`EXECUTORS`."""
+    if name not in EXECUTORS:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; choose from {EXECUTORS}"
+        )
+    return name
+
+
+def validate_shards(shards: int) -> int:
+    """Validate a shard count (a positive integer)."""
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise ConfigurationError(
+            f"shards must be a positive integer, got {shards!r}"
+        )
+    return shards
+
+
+def default_workers(shards: int | None = None) -> int:
+    """Worker count for a pool: capped by shards and the CPU count."""
+    cpus = os.cpu_count() or 1
+    if shards is None:
+        return cpus
+    return max(1, min(shards, cpus))
+
+
+class Executor(abc.ABC):
+    """Order-preserving map over shard tasks."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        """Apply *fn* to every task; results are returned in task order.
+
+        A worker exception propagates to the caller (after the backend
+        has drained or cancelled its siblings) — shard failures must
+        never yield a silently partial merge.
+        """
+
+    def close(self) -> None:
+        """Release pool resources; idempotent."""
+
+    def __enter__(self) -> Executor:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """The reference backend: run shards one after another, in order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        return [fn(task) for task in tasks]
+
+
+class ThreadExecutor(Executor):
+    """Shards on a thread pool (``concurrent.futures`` keeps map order)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers or default_workers(),
+                thread_name_prefix="repro-shard",
+            )
+        return list(self._pool.map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """Shards on a process pool; tasks and worker functions must pickle."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        self._max_workers = max_workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._max_workers or default_workers()
+            )
+        return list(self._pool.map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def resolve_executor(
+    name: str,
+    *,
+    shards: int | None = None,
+    max_workers: int | None = None,
+) -> Executor:
+    """Build the executor backend named *name*.
+
+    *shards* caps the default pool size (there is never a point in more
+    workers than shards); *max_workers* overrides it outright.
+    """
+    validate_executor(name)
+    if name == "serial":
+        return SerialExecutor()
+    workers = max_workers or default_workers(shards)
+    if name == "thread":
+        return ThreadExecutor(max_workers=workers)
+    return ProcessExecutor(max_workers=workers)

@@ -1,0 +1,56 @@
+"""Deterministic sharding of the class-pair space.
+
+The :class:`Partitioner` is the single source of truth for how the
+pipeline splits work: it cuts an index range into *contiguous, balanced,
+in-order* slices. Contiguity is what makes shard merges bit-identical to
+the serial path — concatenating shard outputs in shard order reproduces
+the exact row-major iteration order of ``HybridLinkage``'s original
+loops, so no re-sorting (and no tie-breaking subtlety) is ever needed on
+the merge side.
+
+Balancing follows the usual ``divmod`` rule: for ``n`` items over ``k``
+shards the first ``n % k`` shards get ``n // k + 1`` items and the rest
+get ``n // k``. Empty shards are dropped, so callers can zip slices with
+executor results without filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .executors import validate_shards
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """Cuts index ranges into at most ``shards`` contiguous slices."""
+
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        validate_shards(self.shards)
+
+    def slices(self, count: int) -> list[tuple[int, int]]:
+        """Split ``range(count)`` into ``[start, stop)`` bounds.
+
+        Returns at most :attr:`shards` non-empty slices, in order, whose
+        concatenation is exactly ``range(count)``. ``count == 0`` yields
+        no slices.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return []
+        shards = min(self.shards, count)
+        base, extra = divmod(count, shards)
+        bounds: list[tuple[int, int]] = []
+        start = 0
+        for index in range(shards):
+            size = base + (1 if index < extra else 0)
+            bounds.append((start, start + size))
+            start += size
+        return bounds
+
+    def split(self, items: list) -> list[list]:
+        """Slice *items* into the same contiguous shards as :meth:`slices`."""
+        return [items[start:stop] for start, stop in self.slices(len(items))]

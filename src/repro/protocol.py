@@ -39,9 +39,15 @@ from repro.crypto.smc.oracle import CountingPlaintextOracle, SMCOracle
 from repro.data.schema import Relation
 from repro.errors import ConfigurationError, ProtocolError
 from repro.linkage.distances import MatchRule
-from repro.linkage.expected import expected_distance_vector
 from repro.linkage.heuristics import MinAvgFirst, SelectionHeuristic
-from repro.linkage.slack import Label, slack_decision
+from repro.pipeline import (
+    RunContext,
+    block_published_views,
+    consume_bridge,
+    validate_executor,
+    validate_shards,
+)
+from repro.pipeline.shards import plan_leases
 
 #: A record handle the querying party may hold: (class_id, offset).
 Handle = tuple[int, int]
@@ -240,6 +246,8 @@ class QueryingParty:
         allowance: float = 0.015,
         heuristic: SelectionHeuristic | None = None,
         claim_leftovers: bool = False,
+        executor: str = "serial",
+        shards: int = 1,
     ):
         if not 0.0 <= allowance <= 1.0:
             raise ConfigurationError("allowance must be a fraction in [0, 1]")
@@ -248,6 +256,10 @@ class QueryingParty:
         self.heuristic = heuristic or MinAvgFirst()
         #: Strategy 2 (maximize recall) when true; strategy 1 otherwise.
         self.claim_leftovers = claim_leftovers
+        #: Execution plan for the blocking pass and SMC session batching;
+        #: outcomes are identical for every (executor, shards) choice.
+        self.executor = validate_executor(executor)
+        self.shards = validate_shards(shards)
 
     def link(
         self,
@@ -255,53 +267,71 @@ class QueryingParty:
         right_view: PublishedView,
         bridge: SMCBridge,
     ) -> ProtocolOutcome:
-        """Run blocking + budgeted SMC over two published views."""
+        """Run blocking + budgeted SMC over two published views.
+
+        Both passes route through the staged pipeline: blocking shards
+        over the left view's classes on this party's executor, and the
+        SMC consumption is planned as budget leases which — when
+        ``shards > 1`` — are grouped into session batches, one
+        ``compare_many`` per batch. Outcomes are identical for every
+        execution plan.
+        """
+        context = RunContext(
+            config=None,
+            executor_name=self.executor,
+            shards=self.shards,
+        )
+        try:
+            return self._link(left_view, right_view, bridge, context)
+        finally:
+            context.close()
+
+    def _link(
+        self,
+        left_view: PublishedView,
+        right_view: PublishedView,
+        bridge: SMCBridge,
+        context: RunContext,
+    ) -> ProtocolOutcome:
         left_positions = self._positions(left_view)
         right_positions = self._positions(right_view)
         total_pairs = left_view.record_count * right_view.record_count
+        blocked = block_published_views(
+            self.rule,
+            self.heuristic,
+            left_view,
+            right_view,
+            left_positions,
+            right_positions,
+            context=context,
+        )
         outcome = ProtocolOutcome(
             total_pairs=total_pairs,
-            blocked_match_pairs=0,
-            blocked_nonmatch_pairs=0,
+            blocked_match_pairs=blocked.blocked_match_pairs,
+            blocked_nonmatch_pairs=blocked.blocked_nonmatch_pairs,
             unknown_pairs=0,
             smc_invocations=0,
             matched_handles=[],
-            matched_class_pairs=[],
+            matched_class_pairs=blocked.matched_class_pairs,
         )
-        unknown: list[tuple[float, int, tuple[PublishedClass, PublishedClass]]] = []
-        for left_class in left_view.classes:
-            left_sequence = [
-                left_class.sequence[position] for position in left_positions
-            ]
-            for right_class in right_view.classes:
-                right_sequence = [
-                    right_class.sequence[position]
-                    for position in right_positions
-                ]
-                label = slack_decision(self.rule, left_sequence, right_sequence)
-                pair_count = left_class.size * right_class.size
-                if label is Label.MATCH:
-                    outcome.blocked_match_pairs += pair_count
-                    outcome.matched_class_pairs.append(
-                        (left_class.class_id, right_class.class_id)
-                    )
-                elif label is Label.NONMATCH:
-                    outcome.blocked_nonmatch_pairs += pair_count
-                else:
-                    score = self.heuristic.score(
-                        expected_distance_vector(
-                            self.rule.attributes, left_sequence, right_sequence
-                        )
-                    )
-                    unknown.append((score, len(unknown), (left_class, right_class)))
+        unknown: list[tuple[float, int, tuple[PublishedClass, PublishedClass]]] = (
+            blocked.unknown
+        )
         outcome.unknown_pairs = sum(
             pair[2][0].size * pair[2][1].size for pair in unknown
         )
         unknown.sort(key=lambda item: item[:2])
         budget = math.floor(self.allowance * total_pairs)
-        for _, __, (left_class, right_class) in unknown:
-            pair_count = left_class.size * right_class.size
-            if budget <= 0:
+        sizes = [
+            left_class.size * right_class.size
+            for _, __, (left_class, right_class) in unknown
+        ]
+        takes, _ = plan_leases(sizes, budget)
+        batches: list[list[tuple[Handle, Handle]]] = []
+        for position, (_, __, (left_class, right_class)) in enumerate(unknown):
+            pair_count = sizes[position]
+            take = takes[position] if position < len(takes) else 0
+            if take == 0:
                 outcome.leftover_pairs += pair_count
                 if self.claim_leftovers:
                     outcome.claimed_class_pairs.append(
@@ -311,22 +341,19 @@ class QueryingParty:
             # Record pairs inside a class pair are indistinguishable from
             # the anonymized view, so the first `take` of them in row-major
             # order are compared and the remainder becomes leftovers.
-            take = min(budget, pair_count)
-            budget -= take
             outcome.leftover_pairs += pair_count - take
-            batch = [
-                (
-                    (left_class.class_id, position // right_class.size),
-                    (right_class.class_id, position % right_class.size),
-                )
-                for position in range(take)
-            ]
-            verdicts = bridge.compare_many(batch)
-            if len(verdicts) != len(batch):
-                raise ProtocolError(
-                    f"bridge returned {len(verdicts)} verdicts for a "
-                    f"batch of {len(batch)} pairs"
-                )
+            batches.append(
+                [
+                    (
+                        (left_class.class_id, offset // right_class.size),
+                        (right_class.class_id, offset % right_class.size),
+                    )
+                    for offset in range(take)
+                ]
+            )
+        for batch, verdicts in zip(
+            batches, consume_bridge(bridge, batches, self.shards)
+        ):
             for handles, verdict in zip(batch, verdicts):
                 if verdict:
                     outcome.matched_handles.append(handles)

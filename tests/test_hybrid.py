@@ -167,6 +167,113 @@ class TestBudgetAccounting:
         assert recalls[-1] == 1.0
 
 
+def _decision_fingerprint(result):
+    """Decision-relevant LinkageResult fields, keyed by class sequences."""
+    return {
+        "allowance_pairs": result.allowance_pairs,
+        "smc_invocations": result.smc_invocations,
+        "attribute_comparisons": result.attribute_comparisons,
+        "smc_matched_pairs": list(result.smc_matched_pairs),
+        "observations": [
+            (
+                observation.pair.left.sequence,
+                observation.pair.right.sequence,
+                observation.compared,
+                observation.matches,
+            )
+            for observation in result.observations
+        ],
+        "leftovers": [
+            (pair.left.sequence, pair.right.sequence)
+            for pair in result.leftovers
+        ],
+        "claimed": [
+            (pair.left.sequence, pair.right.sequence)
+            for pair in result.claimed
+        ],
+        "verified": list(result.iter_verified_matches()),
+    }
+
+
+class TestAllowanceBoundary:
+    """Leftover bookkeeping at (and around) the exact budget boundary."""
+
+    def _boundary_budgets(self, adult_rule, generalized_pair):
+        """An allowance landing exactly on a class-pair boundary."""
+        left, right = generalized_pair
+        probe = HybridLinkage(
+            LinkageConfig(adult_rule, allowance=0.01)
+        ).run(left, right)
+        assert len(probe.observations) >= 2, "test needs several SMC pairs"
+        full = [
+            observation
+            for observation in probe.observations
+            if observation.compared == observation.pair.size
+        ]
+        assert full, "test needs at least one fully-compared pair"
+        exact = sum(observation.pair.size for observation in full)
+        return probe.total_pairs, exact
+
+    def test_no_duplicate_leftovers_at_exact_boundary(
+        self, adult_rule, generalized_pair
+    ):
+        left, right = generalized_pair
+        total_pairs, exact = self._boundary_budgets(adult_rule, generalized_pair)
+        config = LinkageConfig(
+            adult_rule, allowance=(exact + 0.5) / total_pairs
+        )
+        result = HybridLinkage(config).run(left, right)
+        assert result.allowance_pairs == exact
+        assert result.smc_invocations == exact
+        # The budget ran out exactly between two class pairs: every
+        # observation is complete and no pair shows up twice as leftover.
+        for observation in result.observations:
+            assert observation.compared == observation.pair.size
+        identities = [id(pair) for pair in result.leftovers]
+        assert len(set(identities)) == len(identities)
+        observed = {id(observation.pair) for observation in result.observations}
+        assert observed.isdisjoint(identities)
+
+    def test_partial_pair_listed_once_in_leftovers(
+        self, adult_rule, generalized_pair
+    ):
+        left, right = generalized_pair
+        total_pairs, exact = self._boundary_budgets(adult_rule, generalized_pair)
+        config = LinkageConfig(
+            adult_rule, allowance=(exact - 0.5) / total_pairs
+        )
+        result = HybridLinkage(config).run(left, right)
+        assert result.smc_invocations == exact - 1
+        partial = [
+            observation
+            for observation in result.observations
+            if observation.compared < observation.pair.size
+        ]
+        assert len(partial) == 1
+        identities = [id(pair) for pair in result.leftovers]
+        assert len(set(identities)) == len(identities)
+        # The exhausted pair is both observed and (for its remainder)
+        # leftover — exactly once each.
+        assert identities.count(id(partial[0].pair)) == 1
+
+
+class TestRunFromBlocking:
+    """run_from_blocking on a precomputed BlockingResult == run()."""
+
+    @pytest.mark.parametrize("engine", ["python", "numpy"])
+    def test_matches_full_run(self, engine, adult_rule, generalized_pair):
+        from repro.linkage.blocking import block
+
+        left, right = generalized_pair
+        config = LinkageConfig(adult_rule, allowance=0.01, engine=engine)
+        full = HybridLinkage(config).run(left, right)
+        blocking = block(adult_rule, left, right, engine=engine)
+        resumed = HybridLinkage(config).run_from_blocking(blocking, left, right)
+        assert blocking.engine == full.blocking.engine
+        assert _decision_fingerprint(resumed) == _decision_fingerprint(full)
+        assert resumed.total_pairs == full.total_pairs
+
+
 class TestStrategies:
     def test_maximize_recall_reaches_full_recall(
         self, adult_rule, generalized_pair, adult_pair
